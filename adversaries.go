@@ -1,0 +1,60 @@
+package rrfd
+
+import (
+	"repro/internal/adversary"
+)
+
+// Adversaries: hostile oracles realizing each model predicate. Every
+// adversary is deterministic given its seed.
+var (
+	// Benign is the fault-free oracle (nobody ever suspected).
+	Benign = adversary.Benign
+
+	// Omission realizes eq. (1): up to f victims whose messages drop at
+	// arbitrary receivers (rate tunes hostility).
+	Omission = adversary.Omission
+
+	// Crash realizes eqs. (1)+(2): up to f victims crash at scheduled
+	// rounds, with partial final broadcasts.
+	Crash = adversary.Crash
+
+	// ChainCrash is the k-chains adversary of the ⌊f/k⌋+1 synchronous
+	// lower bound: with inputs v_i = i it hides values 0..k−1 along
+	// disjoint crash chains.
+	ChainCrash = adversary.ChainCrash
+
+	// AsyncBudget realizes eq. (3): arbitrary per-round misses of at most
+	// f processes.
+	AsyncBudget = adversary.AsyncBudget
+
+	// SharedMemAdversary realizes eqs. (3)+(4): per-round budget plus a
+	// "star" process seen by everyone.
+	SharedMemAdversary = adversary.SharedMem
+
+	// SnapshotChain realizes the §2 item 5 predicate by linearizing each
+	// round's writes and handing out suffix suspect sets.
+	SnapshotChain = adversary.SnapshotChain
+
+	// NoMutualMissAdversary realizes eq. (3) plus the no-mutual-miss
+	// clause, biased toward building miss cycles.
+	NoMutualMissAdversary = adversary.NoMutualMissOracle
+
+	// BSystemAdversary realizes the §2 item 3 "B system".
+	BSystemAdversary = adversary.BSystemOracle
+
+	// KSetUncertainty realizes the §3 detector: per-round disagreement on
+	// fewer than k processes.
+	KSetUncertainty = adversary.KSetUncertainty
+
+	// Identical realizes eq. (5): one common suspect set per round.
+	Identical = adversary.Identical
+
+	// SpareNeverSuspected realizes §2 item 6: one designated process is
+	// never suspected; everything else is fair game.
+	SpareNeverSuspected = adversary.SpareNeverSuspected
+
+	// EventuallySpare realizes the eventual-accuracy (◇S-analogue)
+	// predicate: budget f per round, the spare process fair game through
+	// round stab and never suspected afterwards.
+	EventuallySpare = adversary.EventuallySpare
+)

@@ -1,0 +1,39 @@
+package rrfd
+
+import (
+	"repro/internal/agreement"
+)
+
+// Agreement algorithms for RRFD systems.
+var (
+	// OneRoundKSet is Theorem 3.1's algorithm: decide the value of the
+	// smallest identifier outside D(i,1) — k-set agreement in one round
+	// under the KSetDetector predicate.
+	OneRoundKSet = agreement.OneRoundKSet
+
+	// FloodMin is synchronous min-flooding, deciding after the given
+	// number of rounds; ⌊f/k⌋+1 rounds solve k-set agreement with f
+	// crash faults (and f+1 rounds solve consensus).
+	FloodMin = agreement.FloodMin
+
+	// RotatingCoordinator solves consensus in n rounds under the
+	// detector-S RRFD (§2 item 6): some process is never suspected, so
+	// its coordinator round forces agreement.
+	RotatingCoordinator = agreement.RotatingCoordinator
+
+	// ValidateAgreement checks k-agreement, validity, termination, and an
+	// optional decision-round bound on an execution result.
+	ValidateAgreement = agreement.Validate
+
+	// PhasedConsensus is the adopt-commit-based consensus (after Yang,
+	// Neiger and Gafni, the paper's reference [16]) for the
+	// eventual-accuracy RRFD: safe under PerRoundBudget(f) with 2f < n,
+	// live once some process stops being suspected.
+	PhasedConsensus = agreement.PhasedConsensus
+)
+
+// FloodSet returns the f+1-round consensus baseline (FloodMin with k = 1 —
+// the Fischer–Lynch bound setting).
+func FloodSet(f int) Factory {
+	return agreement.FloodMin(f + 1)
+}

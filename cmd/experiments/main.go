@@ -1,0 +1,58 @@
+// Command experiments regenerates every table in EXPERIMENTS.md: one
+// experiment per theorem/construction of the paper (see DESIGN.md §5).
+//
+// Usage:
+//
+//	go run ./cmd/experiments            # full sweeps (seconds to minutes)
+//	go run ./cmd/experiments -quick     # shrunken sweeps
+//	go run ./cmd/experiments -only E13  # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	rrfd "repro"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run shrunken sweeps")
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. E07)")
+	flag.Parse()
+
+	if err := run(*quick, *only); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, only string) error {
+	mode := "full"
+	if quick {
+		mode = "quick"
+	}
+	fmt.Printf("RRFD paper experiments (%s mode)\n", mode)
+	fmt.Printf("Gafni, \"Round-by-Round Fault Detectors: Unifying Synchrony and Asynchrony\", PODC 1998\n\n")
+
+	ran := 0
+	for _, e := range rrfd.Experiments() {
+		if only != "" && !strings.EqualFold(e.ID, only) {
+			continue
+		}
+		start := time.Now()
+		table, err := e.Run(quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q", only)
+	}
+	return nil
+}

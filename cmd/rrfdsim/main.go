@@ -1,0 +1,162 @@
+// Command rrfdsim runs one configurable RRFD execution: pick a system
+// (adversary), an algorithm, and parameters; it prints the decisions, the
+// round count, optionally the full trace, and checks the system's model
+// predicate on the recorded execution.
+//
+// Usage examples:
+//
+//	go run ./cmd/rrfdsim -system kset -k 2 -n 8 -alg kset
+//	go run ./cmd/rrfdsim -system crash -n 8 -f 3 -alg floodmin
+//	go run ./cmd/rrfdsim -system s -n 6 -alg coordinator -trace
+//	go run ./cmd/rrfdsim -system snapshot -n 6 -f 2 -alg none -rounds 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	rrfd "repro"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "kset", "system: omission|crash|chain|async|sharedmem|snapshot|kset|identical|s|benign")
+		alg    = flag.String("alg", "kset", "algorithm: kset|floodmin|floodset|coordinator|none")
+		n      = flag.Int("n", 8, "number of processes")
+		f      = flag.Int("f", 2, "fault budget")
+		k      = flag.Int("k", 2, "agreement parameter k")
+		rounds = flag.Int("rounds", 0, "rounds for -alg none / floodmin override (0 = default)")
+		seed   = flag.Int64("seed", 1, "adversary seed")
+		trace  = flag.Bool("trace", false, "dump the execution trace")
+		out    = flag.String("o", "", "write the execution trace as JSON to this file")
+	)
+	flag.Parse()
+
+	if err := run(*system, *alg, *n, *f, *k, *rounds, *seed, *trace, *out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(system, alg string, n, f, k, rounds int, seed int64, dumpTrace bool, outFile string) error {
+	var (
+		oracle rrfd.Oracle
+		pred   rrfd.Predicate
+	)
+	switch system {
+	case "omission":
+		oracle, pred = rrfd.Omission(n, f, 0.7, seed), rrfd.SendOmission(f)
+	case "crash":
+		oracle, pred = rrfd.Crash(n, f, seed), rrfd.SyncCrash(f)
+	case "chain":
+		oracle, pred = rrfd.ChainCrash(n, f, k), rrfd.SyncCrash(f)
+	case "async":
+		oracle, pred = rrfd.AsyncBudget(n, f, true, seed), rrfd.PerRoundBudget(f)
+	case "sharedmem":
+		oracle, pred = rrfd.SharedMemAdversary(n, f, seed), rrfd.SharedMemory(f)
+	case "snapshot":
+		oracle, pred = rrfd.SnapshotChain(n, f, seed), rrfd.AtomicSnapshot(f)
+	case "kset":
+		oracle, pred = rrfd.KSetUncertainty(n, k, seed), rrfd.KSetDetector(k)
+	case "identical":
+		oracle, pred = rrfd.Identical(n, seed), rrfd.IdenticalSuspects()
+	case "s":
+		oracle, pred = rrfd.SpareNeverSuspected(n, rrfd.PID(seed)%rrfd.PID(n), seed), rrfd.NeverSuspectedExists()
+	case "benign":
+		oracle, pred = rrfd.Benign(n), rrfd.SendOmission(0)
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+
+	inputs := make([]rrfd.Value, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+
+	var factory rrfd.Factory
+	bound := 0
+	switch alg {
+	case "kset":
+		factory, bound = rrfd.OneRoundKSet(), k
+	case "floodmin":
+		r := f/k + 1
+		if rounds > 0 {
+			r = rounds
+		}
+		factory, bound = rrfd.FloodMin(r), k
+	case "floodset":
+		factory, bound = rrfd.FloodSet(f), 1
+	case "coordinator":
+		factory, bound = rrfd.RotatingCoordinator(), 1
+	case "none":
+		if rounds <= 0 {
+			rounds = 5
+		}
+		tr, err := rrfd.CollectTrace(n, rounds, oracle)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collected %d rounds from system %q\n", tr.Len(), system)
+		if dumpTrace {
+			fmt.Print(tr.String())
+		}
+		if err := writeTrace(outFile, tr); err != nil {
+			return err
+		}
+		return report(pred, tr)
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+
+	res, err := rrfd.Run(n, inputs, factory, oracle)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system=%s alg=%s n=%d f=%d k=%d seed=%d\n", system, alg, n, f, k, seed)
+	fmt.Printf("rounds: %d, crashed: %s\n", res.Rounds, res.Crashed)
+	fmt.Printf("decisions (%d distinct):\n", res.DistinctOutputs())
+	for p := rrfd.PID(0); int(p) < n; p++ {
+		if v, ok := res.Outputs[p]; ok {
+			fmt.Printf("  p%-3d → %-6v (round %d)\n", p, v, res.DecidedAt[p])
+		} else {
+			fmt.Printf("  p%-3d → (no decision)\n", p)
+		}
+	}
+	if err := rrfd.ValidateAgreement(res, inputs, bound, 0); err != nil {
+		fmt.Printf("agreement check: %v\n", err)
+	} else {
+		fmt.Printf("agreement check: %d-set agreement holds\n", bound)
+	}
+	if dumpTrace {
+		fmt.Print(res.Trace.String())
+	}
+	if err := writeTrace(outFile, res.Trace); err != nil {
+		return err
+	}
+	return report(pred, res.Trace)
+}
+
+func report(pred rrfd.Predicate, tr *rrfd.Trace) error {
+	if err := pred.Check(tr); err != nil {
+		return fmt.Errorf("model predicate: %w", err)
+	}
+	fmt.Printf("model predicate %q: satisfied\n", pred.Name)
+	return nil
+}
+
+func writeTrace(path string, tr *rrfd.Trace) error {
+	if path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode trace: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	fmt.Printf("trace written to %s\n", path)
+	return nil
+}

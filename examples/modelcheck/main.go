@@ -1,0 +1,117 @@
+// Model-check the adopt-commit protocol (§4.2) over EVERY schedule.
+//
+// The SWMR shared-memory substrate serializes register operations through a
+// pluggable scheduler, so the schedule space of a small protocol instance
+// can be enumerated exhaustively — every interleaving of every crash
+// pattern. This example verifies the paper's two adopt-commit properties
+// across the whole space for two processes with contested proposals, then
+// shows a property the protocol does NOT have (commits are not guaranteed)
+// by finding real schedules for both grades.
+//
+//	go run ./examples/modelcheck
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	rrfd "repro"
+)
+
+func main() {
+	inputs := []rrfd.Value{"left", "right"}
+
+	runOnce := func(ch rrfd.SharedChooser, crash map[rrfd.PID]int) (map[rrfd.PID]rrfd.AdoptCommitOutcome, error) {
+		res, err := rrfd.RunShared(len(inputs), rrfd.SharedConfig{Chooser: ch, Crash: crash},
+			func(p *rrfd.SharedProc) (rrfd.Value, error) {
+				o, err := rrfd.AdoptCommit(p, "mc", inputs[p.Me])
+				if err != nil {
+					return nil, err
+				}
+				return o, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		outs := make(map[rrfd.PID]rrfd.AdoptCommitOutcome)
+		for pid, v := range res.Values {
+			outs[pid] = v.(rrfd.AdoptCommitOutcome)
+		}
+		for pid, e := range res.Errs {
+			if !errors.Is(e, rrfd.ErrCrashed) {
+				return nil, fmt.Errorf("process %d: %w", pid, e)
+			}
+		}
+		return outs, nil
+	}
+
+	// Property check across the full schedule space, for every crash
+	// point of process 0 (−1 = no crash).
+	totalSchedules := 0
+	sawCommit, sawAdopt := false, false
+	for crashAt := -1; crashAt <= 6; crashAt++ {
+		var crash map[rrfd.PID]int
+		if crashAt >= 0 {
+			crash = map[rrfd.PID]int{0: crashAt}
+		}
+		count, err := rrfd.Explore(100000, func(ch rrfd.SharedChooser) error {
+			outs, err := runOnce(ch, crash)
+			if err != nil {
+				return err
+			}
+			// Property 2: a commit forces every output value.
+			for p, o := range outs {
+				if o.Grade != rrfd.Commit {
+					sawAdopt = true
+					continue
+				}
+				sawCommit = true
+				for q, o2 := range outs {
+					if o2.Value != o.Value {
+						return fmt.Errorf("p%d committed %v but p%d holds %v", p, o.Value, q, o2.Value)
+					}
+				}
+			}
+			// Validity: outputs are proposals.
+			for p, o := range outs {
+				if o.Value != "left" && o.Value != "right" {
+					return fmt.Errorf("p%d output %v", p, o.Value)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		totalSchedules += count
+	}
+	fmt.Printf("verified adopt-commit over %d schedules (8 crash patterns × all interleavings)\n", totalSchedules)
+	fmt.Printf("both grades reachable: commit=%v adopt=%v — the relation, not a function\n", sawCommit, sawAdopt)
+
+	// The same machinery proves convergence: unanimous proposals commit
+	// in EVERY schedule.
+	count, err := rrfd.Explore(100000, func(ch rrfd.SharedChooser) error {
+		res, err := rrfd.RunShared(2, rrfd.SharedConfig{Chooser: ch},
+			func(p *rrfd.SharedProc) (rrfd.Value, error) {
+				o, err := rrfd.AdoptCommit(p, "u", "same")
+				if err != nil {
+					return nil, err
+				}
+				return o, nil
+			})
+		if err != nil {
+			return err
+		}
+		for pid, v := range res.Values {
+			if o := v.(rrfd.AdoptCommitOutcome); o.Grade != rrfd.Commit || o.Value != "same" {
+				return fmt.Errorf("p%d: %+v under unanimity", pid, o)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("convergence proven over %d unanimous-input schedules: all commit\n", count)
+}

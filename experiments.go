@@ -1,0 +1,17 @@
+package rrfd
+
+import (
+	"repro/internal/exp"
+)
+
+// ExperimentTable is one experiment's printable result table.
+type ExperimentTable = exp.Table
+
+// Experiment is a named experiment runner.
+type Experiment = exp.Runner
+
+// Experiments returns every paper experiment (E01–E15, see DESIGN.md §5 and
+// EXPERIMENTS.md); each Run regenerates its table, in quick or full mode.
+func Experiments() []Experiment {
+	return exp.All()
+}

@@ -1,0 +1,71 @@
+package abd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckAtomic validates the operation log of the single-writer register
+// against the standard SWMR atomicity conditions, which for a single writer
+// are necessary and sufficient for linearizability:
+//
+//  1. writes carry sequence numbers 1..W in the writer's program order;
+//  2. every read returns seq 0 (initial) or the value of write seq;
+//  3. a read that starts after a write completed returns at least that
+//     write's sequence number;
+//  4. a read cannot return a write that starts after the read ended;
+//  5. two non-overlapping reads do not go backwards in sequence numbers.
+func CheckAtomic(log []Op) error {
+	var writes []Op
+	var reads []Op
+	for _, op := range log {
+		switch op.Kind {
+		case "write":
+			writes = append(writes, op)
+		case "read":
+			reads = append(reads, op)
+		default:
+			return fmt.Errorf("abd: unknown op kind %q", op.Kind)
+		}
+	}
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Seq < writes[j].Seq })
+	valOf := make(map[int]any, len(writes))
+	for i, w := range writes {
+		if w.Seq != i+1 {
+			return fmt.Errorf("abd: write sequence numbers not contiguous: %d at position %d", w.Seq, i)
+		}
+		if i > 0 && w.Start < writes[i-1].End {
+			return fmt.Errorf("abd: writer's operations overlap: seq %d starts before seq %d ends", w.Seq, w.Seq-1)
+		}
+		valOf[w.Seq] = w.Val
+	}
+
+	for _, r := range reads {
+		if r.Seq < 0 || r.Seq > len(writes) {
+			return fmt.Errorf("abd: read by %d returned unknown seq %d", r.Proc, r.Seq)
+		}
+		if r.Seq > 0 && r.Val != valOf[r.Seq] {
+			return fmt.Errorf("abd: read by %d returned (seq %d, %v), but write %d stored %v",
+				r.Proc, r.Seq, r.Val, r.Seq, valOf[r.Seq])
+		}
+		for _, w := range writes {
+			if w.End < r.Start && r.Seq < w.Seq {
+				return fmt.Errorf("abd: read by %d (seq %d, interval [%d,%d]) missed completed write %d ([%d,%d])",
+					r.Proc, r.Seq, r.Start, r.End, w.Seq, w.Start, w.End)
+			}
+			if w.Start > r.End && r.Seq >= w.Seq {
+				return fmt.Errorf("abd: read by %d returned future write %d", r.Proc, w.Seq)
+			}
+		}
+	}
+
+	for i := 0; i < len(reads); i++ {
+		for j := 0; j < len(reads); j++ {
+			if reads[i].End < reads[j].Start && reads[i].Seq > reads[j].Seq {
+				return fmt.Errorf("abd: new/old inversion: read by %d (seq %d) precedes read by %d (seq %d)",
+					reads[i].Proc, reads[i].Seq, reads[j].Proc, reads[j].Seq)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package adoptcommit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/swmr"
+)
+
+// BenchmarkInstance measures one adopt-commit instance; the protocol is
+// wait-free with exactly 2n+2 register operations per process.
+func BenchmarkInstance(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := swmr.Run(n, swmr.Config{Chooser: swmr.Seeded(int64(i))},
+					func(p *swmr.Proc) (core.Value, error) {
+						o, err := Run(p, "b", int(p.Me)%2)
+						if err != nil {
+							return nil, err
+						}
+						return o, nil
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Steps != n*(2*n+2) {
+					b.Fatalf("steps = %d, want %d", out.Steps, n*(2*n+2))
+				}
+			}
+			b.ReportMetric(float64(2*n+2), "memops/proc")
+		})
+	}
+}

@@ -1,0 +1,71 @@
+// Package adversary provides round-by-round fault detectors driven as
+// adversaries: core.Oracle implementations that choose suspect sets D(i,r)
+// as hostilely as possible while satisfying a given model predicate from
+// the paper's §2–§5. Every adversary is deterministic given its seed, so
+// experiments are reproducible.
+//
+// The correspondence adversary ↔ predicate is validated by this package's
+// tests: a trace collected from each adversary must satisfy the predicate it
+// advertises (and, for the separation examples, violate the ones the paper
+// says it can violate).
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Benign returns the fault-free oracle: nobody is ever suspected. This is the
+// Awerbuch-synchronizer regime the paper contrasts with (§6): with no faults,
+// synchrony and asynchrony coincide.
+func Benign(n int) core.Oracle {
+	return core.OracleFunc(func(r int, active core.Set) core.RoundPlan {
+		sus := make([]core.Set, n)
+		for i := range sus {
+			sus[i] = core.NewSet(n)
+		}
+		return core.RoundPlan{Suspects: sus}
+	})
+}
+
+// emptySuspects allocates an all-empty suspect slice.
+func emptySuspects(n int) []core.Set {
+	sus := make([]core.Set, n)
+	for i := range sus {
+		sus[i] = core.NewSet(n)
+	}
+	return sus
+}
+
+// randSubset returns a subset of pool with at most max elements, chosen
+// uniformly at random (each element of pool is considered in a random order
+// and kept with probability 1/2 until the cap is hit).
+func randSubset(rng *rand.Rand, n int, pool core.Set, max int) core.Set {
+	members := pool.Members()
+	rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+	out := core.NewSet(n)
+	for _, p := range members {
+		if out.Count() >= max {
+			break
+		}
+		if rng.Intn(2) == 1 {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// pickK returns k distinct members of pool chosen uniformly at random (or all
+// of pool if it has fewer than k members).
+func pickK(rng *rand.Rand, n int, pool core.Set, k int) core.Set {
+	members := pool.Members()
+	rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+	if k > len(members) {
+		k = len(members)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return core.SetOf(n, members[:k]...)
+}

@@ -1,0 +1,95 @@
+package agreement
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+)
+
+// BenchmarkOneRoundKSet: the Theorem 3.1 algorithm is one round whatever n
+// and k are.
+func BenchmarkOneRoundKSet(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			k := n / 4
+			inputs := identityInputs(n)
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(n, inputs, OneRoundKSet(),
+					adversary.KSetUncertainty(n, k, int64(i)), core.WithoutTrace())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds != 1 {
+					b.Fatal("not one round")
+				}
+			}
+			b.ReportMetric(1, "rounds/decision")
+		})
+	}
+}
+
+// BenchmarkFloodMin: the synchronous baseline pays ⌊f/k⌋+1 rounds.
+func BenchmarkFloodMin(b *testing.B) {
+	n, f, k := 12, 6, 2
+	rounds := f/k + 1
+	inputs := identityInputs(n)
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(n, inputs, FloodMin(rounds),
+			adversary.Crash(n, f, int64(i)), core.WithoutTrace())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MaxDecisionRound() > rounds {
+			b.Fatal("late decision")
+		}
+	}
+	b.ReportMetric(float64(rounds), "rounds/decision")
+}
+
+// BenchmarkConsensusAlgorithms compares the three consensus algorithms on
+// their home models.
+func BenchmarkConsensusAlgorithms(b *testing.B) {
+	n := 8
+	inputs := identityInputs(n)
+	b.Run("rotating-coordinator/S", func(b *testing.B) {
+		rounds := 0
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(n, inputs, RotatingCoordinator(),
+				adversary.SpareNeverSuspected(n, core.PID(i%n), int64(i)), core.WithoutTrace())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds += res.MaxDecisionRound()
+		}
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/decision")
+	})
+	b.Run("phased/eventual-S", func(b *testing.B) {
+		f, stab := 3, 4
+		rounds := 0
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(n, inputs, PhasedConsensus(),
+				adversary.EventuallySpare(n, f, stab, core.PID(i%n), int64(i)),
+				core.WithMaxRounds(stab+3*(n+2)), core.WithoutTrace())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds += res.MaxDecisionRound()
+		}
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/decision")
+	})
+	b.Run("floodset/sync-crash", func(b *testing.B) {
+		f := 3
+		rounds := 0
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(n, inputs, FloodMin(f+1),
+				adversary.Crash(n, f, int64(i)), core.WithoutTrace())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds += res.MaxDecisionRound()
+		}
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/decision")
+	})
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSetOps(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := FullSet(n)
+			y := SetOf(n, 0, PID(n/2), PID(n-1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				u := x.Union(y)
+				v := x.Intersect(y)
+				w := u.Diff(v)
+				if w.Count() < 0 {
+					b.Fatal("impossible")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSetForEach(b *testing.B) {
+	s := FullSet(256)
+	count := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(p PID) { count++ })
+	}
+	_ = count
+}
+
+// BenchmarkEngineRounds measures raw round throughput of the lock-step
+// engine with a trivial algorithm and a benign oracle.
+func BenchmarkEngineRounds(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inputs := make([]Value, n)
+			oracle := OracleFunc(func(r int, active Set) RoundPlan {
+				sus := make([]Set, n)
+				for i := range sus {
+					sus[i] = NewSet(n)
+				}
+				return RoundPlan{Suspects: sus}
+			})
+			const rounds = 10
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := Run(n, inputs, newEchoFactory(rounds), oracle, WithoutTrace())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rounds), "rounds/run")
+		})
+	}
+}
+
+func BenchmarkCollectTraceWithRecording(b *testing.B) {
+	n := 16
+	oracle := OracleFunc(func(r int, active Set) RoundPlan {
+		sus := make([]Set, n)
+		for i := range sus {
+			sus[i] = SetOf(n, PID((r+i)%n))
+		}
+		return RoundPlan{Suspects: sus}
+	})
+	for i := 0; i < b.N; i++ {
+		if _, err := CollectTrace(n, 10, oracle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMaxRounds is returned by Run when the round limit is reached before
+// every live process has decided.
+var ErrMaxRounds = errors.New("core: round limit reached before all processes decided")
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Outputs maps each decided process to its decision value.
+	Outputs map[PID]Value
+
+	// DecidedAt maps each decided process to the round in which it
+	// decided.
+	DecidedAt map[PID]int
+
+	// Rounds is the number of rounds executed.
+	Rounds int
+
+	// Crashed is the set of processes the adversary crashed.
+	Crashed Set
+
+	// Trace is the recorded execution, present unless disabled.
+	Trace *Trace
+}
+
+// DistinctOutputs returns the number of distinct decision values. Values are
+// compared with == via an any-keyed map, so decision values must be
+// comparable.
+func (r *Result) DistinctOutputs() int {
+	seen := make(map[Value]struct{}, len(r.Outputs))
+	for _, v := range r.Outputs {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+// MaxDecisionRound returns the latest round at which any process decided, or
+// 0 if nothing decided.
+func (r *Result) MaxDecisionRound() int {
+	m := 0
+	for _, rd := range r.DecidedAt {
+		if rd > m {
+			m = rd
+		}
+	}
+	return m
+}
+
+type engineOptions struct {
+	maxRounds  int
+	trace      bool
+	stopOnce   bool
+	extraRound int
+}
+
+// Option configures Run.
+type Option func(*engineOptions)
+
+// WithMaxRounds bounds the execution length; Run returns ErrMaxRounds if some
+// live process has not decided by then. The default is 10000.
+func WithMaxRounds(n int) Option {
+	return func(o *engineOptions) { o.maxRounds = n }
+}
+
+// WithoutTrace disables trace recording (useful in benchmarks).
+func WithoutTrace() Option {
+	return func(o *engineOptions) { o.trace = false }
+}
+
+// WithRunToRound keeps the engine running for extra rounds after every live
+// process has decided (full-information executions often need the trailing
+// structure). n is the absolute round number to run through.
+func WithRunToRound(n int) Option {
+	return func(o *engineOptions) { o.extraRound = n }
+}
+
+// Run executes the algorithm produced by factory under the given adversary in
+// a lock-step, deterministic fashion: each round the oracle plans D sets and
+// crashes, live processes emit, and each live process is delivered the
+// messages of S(i,r) together with D(i,r).
+//
+// Run returns an error if the oracle produces an invalid plan (one violating
+// S(i,r) ∪ D(i,r) = S, suspecting everybody, delivering from a process that
+// did not emit, or failing to suspect a crashed process) or if the round
+// limit is hit first.
+func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: invalid process count %d", n)
+	}
+	if len(inputs) != n {
+		return nil, fmt.Errorf("core: %d inputs for %d processes", len(inputs), n)
+	}
+	o := engineOptions{maxRounds: 10000, trace: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	procs := make([]Algorithm, n)
+	for i := range procs {
+		procs[i] = factory(PID(i), n, inputs[i])
+	}
+
+	res := &Result{
+		Outputs:   make(map[PID]Value, n),
+		DecidedAt: make(map[PID]int, n),
+		Crashed:   NewSet(n),
+	}
+	if o.trace {
+		res.Trace = NewTrace(n)
+	}
+
+	active := FullSet(n)
+	full := FullSet(n)
+	for r := 1; r <= o.maxRounds; r++ {
+		plan := oracle.Plan(r, active)
+		if err := validatePlan(n, r, active, &plan); err != nil {
+			return nil, err
+		}
+		active = active.Diff(plan.Crashes)
+		res.Crashed = res.Crashed.Union(plan.Crashes)
+		if active.Empty() {
+			res.Rounds = r
+			return res, fmt.Errorf("core: all processes crashed at round %d", r)
+		}
+
+		msgs := make([]Message, n)
+		active.ForEach(func(p PID) {
+			msgs[p] = procs[p].Emit(r)
+		})
+
+		var rec RoundRecord
+		if o.trace {
+			rec = RoundRecord{
+				R:        r,
+				Suspects: make([]Set, n),
+				Deliver:  make([]Set, n),
+				Active:   active.Clone(),
+				Crashed:  full.Diff(active),
+			}
+		}
+
+		var deliverErr error
+		active.ForEach(func(p PID) {
+			deliver := plan.deliverSet(p, active)
+			if !deliver.Union(plan.Suspects[p]).Equal(full) {
+				deliverErr = &PlanError{Round: r, Proc: p, Reason: "S(i,r) ∪ D(i,r) ≠ S"}
+				return
+			}
+			in := make(map[PID]Message, deliver.Count())
+			deliver.ForEach(func(q PID) { in[q] = msgs[q] })
+			out, decided := procs[p].Deliver(r, in, plan.Suspects[p].Clone())
+			if decided {
+				if _, done := res.DecidedAt[p]; !done {
+					res.Outputs[p] = out
+					res.DecidedAt[p] = r
+				}
+			}
+			if o.trace {
+				rec.Suspects[p] = plan.Suspects[p].Clone()
+				rec.Deliver[p] = deliver
+			}
+		})
+		if deliverErr != nil {
+			return nil, deliverErr
+		}
+		if o.trace {
+			for i := 0; i < n; i++ {
+				if rec.Suspects[i].words == nil {
+					rec.Suspects[i] = NewSet(n)
+					rec.Deliver[i] = NewSet(n)
+				}
+			}
+			res.Trace.Append(rec)
+		}
+
+		res.Rounds = r
+		if allDecided(active, res.DecidedAt) && r >= o.extraRound {
+			return res, nil
+		}
+	}
+	return res, ErrMaxRounds
+}
+
+// TraceOracle replays a recorded trace as an adversary: round r's plan is
+// the trace's round-r record (suspect sets, plus crashes inferred from the
+// Active transitions). Rounds beyond the trace replay its final record.
+// Replaying lets any algorithm be run against an explicitly enumerated
+// family of detector behaviours — the basis of exhaustive theorem checking.
+func TraceOracle(t *Trace) Oracle {
+	return OracleFunc(func(r int, active Set) RoundPlan {
+		if r > t.Len() {
+			r = t.Len()
+		}
+		rec := t.Round(r)
+		if rec == nil {
+			// Empty trace: behave benignly.
+			sus := make([]Set, t.N)
+			for i := range sus {
+				sus[i] = NewSet(t.N)
+			}
+			return RoundPlan{Suspects: sus}
+		}
+		sus := make([]Set, t.N)
+		for i := range sus {
+			sus[i] = rec.Suspects[i].Clone()
+		}
+		// Crash whoever the trace stops running.
+		crashes := active.Diff(rec.Active)
+		return RoundPlan{Suspects: sus, Crashes: crashes}
+	})
+}
+
+// CollectTrace runs a no-op full-information algorithm under the oracle for
+// exactly rounds rounds and returns the recorded trace. It is the bridge from
+// an adversary to the predicate checkers: the trace is the adversary's
+// behaviour, independent of any algorithm.
+func CollectTrace(n, rounds int, oracle Oracle) (*Trace, error) {
+	inputs := make([]Value, n)
+	res, err := Run(n, inputs, func(me PID, n int, input Value) Algorithm {
+		return nopAlgorithm{}
+	}, oracle, WithMaxRounds(rounds))
+	if err != nil && !errors.Is(err, ErrMaxRounds) {
+		return nil, err
+	}
+	return res.Trace, nil
+}
+
+type nopAlgorithm struct{}
+
+func (nopAlgorithm) Emit(r int) Message { return nil }
+
+func (nopAlgorithm) Deliver(r int, msgs map[PID]Message, suspects Set) (Value, bool) {
+	return nil, false
+}
+
+// deliverSet computes S(p,r) for this plan: the explicit override when given,
+// otherwise every active process not suspected by p.
+func (pl *RoundPlan) deliverSet(p PID, active Set) Set {
+	if pl.Deliver != nil && pl.Deliver[p].words != nil {
+		return pl.Deliver[p].Clone()
+	}
+	return active.Diff(pl.Suspects[p])
+}
+
+func validatePlan(n, r int, active Set, plan *RoundPlan) error {
+	if len(plan.Suspects) != n {
+		return &PlanError{Round: r, Proc: -1, Reason: fmt.Sprintf("plan has %d suspect sets, want %d", len(plan.Suspects), n)}
+	}
+	if plan.Crashes.words == nil {
+		plan.Crashes = NewSet(n)
+	}
+	live := active.Diff(plan.Crashes)
+	dead := FullSet(n).Diff(live)
+	var err error
+	live.ForEach(func(p PID) {
+		if err != nil {
+			return
+		}
+		d := plan.Suspects[p]
+		if d.words == nil {
+			err = &PlanError{Round: r, Proc: p, Reason: "nil suspect set"}
+			return
+		}
+		if d.Count() == n {
+			err = &PlanError{Round: r, Proc: p, Reason: "D(i,r) = S is forbidden"}
+			return
+		}
+		if !dead.IsSubset(d) {
+			err = &PlanError{Round: r, Proc: p, Reason: fmt.Sprintf("crashed processes %s not all suspected (D=%s)", dead, d)}
+			return
+		}
+		if plan.Deliver != nil {
+			s := plan.Deliver[p]
+			if s.words == nil {
+				return // engine falls back to active \ D for this process
+			}
+			if !s.IsSubset(live) {
+				err = &PlanError{Round: r, Proc: p, Reason: "delivery from a process that did not emit"}
+				return
+			}
+		}
+	})
+	return err
+}
+
+func allDecided(active Set, decidedAt map[PID]int) bool {
+	done := true
+	active.ForEach(func(p PID) {
+		if _, ok := decidedAt[p]; !ok {
+			done = false
+		}
+	})
+	return done
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSetJSON fuzzes the Set codec: any input either fails to decode or
+// round-trips exactly.
+func FuzzSetJSON(f *testing.F) {
+	f.Add([]byte(`{"n":8,"members":[1,3]}`))
+	f.Add([]byte(`{"n":0,"members":[]}`))
+	f.Add([]byte(`{"n":128,"members":[0,63,64,127]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Set
+		if err := json.Unmarshal(data, &s); err != nil {
+			return // invalid inputs are fine as long as they are rejected
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("decoded set failed to encode: %v", err)
+		}
+		var again Set
+		if err := json.Unmarshal(b, &again); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !again.Equal(s) || again.Universe() != s.Universe() {
+			t.Fatalf("round trip changed the set: %s vs %s", s, again)
+		}
+	})
+}
+
+// FuzzTraceJSON fuzzes the Trace codec the same way.
+func FuzzTraceJSON(f *testing.F) {
+	seed, err := json.Marshal(func() *Trace {
+		tr, err := CollectTrace(3, 2, OracleFunc(func(r int, active Set) RoundPlan {
+			sus := make([]Set, 3)
+			for i := range sus {
+				sus[i] = SetOf(3, PID((i+r)%3))
+				sus[i].Remove(PID(i))
+			}
+			return RoundPlan{Suspects: sus}
+		}))
+		if err != nil {
+			f.Fatal(err)
+		}
+		return tr
+	}())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"n":2,"rounds":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Trace
+		if err := json.Unmarshal(data, &tr); err != nil {
+			return
+		}
+		b, err := json.Marshal(&tr)
+		if err != nil {
+			t.Fatalf("decoded trace failed to encode: %v", err)
+		}
+		var again Trace
+		if err := json.Unmarshal(b, &again); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again.N != tr.N || again.Len() != tr.Len() {
+			t.Fatalf("round trip changed the shape")
+		}
+	})
+}

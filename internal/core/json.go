@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// setJSON is the wire form of a Set.
+type setJSON struct {
+	N       int   `json:"n"`
+	Members []PID `json:"members"`
+}
+
+// MarshalJSON encodes the set as its universe size and sorted member list.
+func (s Set) MarshalJSON() ([]byte, error) {
+	return json.Marshal(setJSON{N: s.n, Members: s.Members()})
+}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON.
+func (s *Set) UnmarshalJSON(b []byte) error {
+	var w setJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	out := NewSet(w.N)
+	for _, p := range w.Members {
+		if p < 0 || int(p) >= w.N {
+			return fmt.Errorf("core: set member %d outside universe %d", p, w.N)
+		}
+		out.Add(p)
+	}
+	*s = out
+	return nil
+}
+
+// traceJSON is the wire form of a Trace.
+type traceJSON struct {
+	N      int               `json:"n"`
+	Rounds []roundRecordJSON `json:"rounds"`
+}
+
+type roundRecordJSON struct {
+	R        int   `json:"r"`
+	Suspects []Set `json:"suspects"`
+	Deliver  []Set `json:"deliver"`
+	Active   Set   `json:"active"`
+	Crashed  Set   `json:"crashed"`
+}
+
+// MarshalJSON encodes the trace; message payloads are not part of a trace,
+// so any trace round-trips losslessly.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	w := traceJSON{N: t.N}
+	for _, rec := range t.Rounds {
+		w.Rounds = append(w.Rounds, roundRecordJSON{
+			R:        rec.R,
+			Suspects: rec.Suspects,
+			Deliver:  rec.Deliver,
+			Active:   rec.Active,
+			Crashed:  rec.Crashed,
+		})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON.
+func (t *Trace) UnmarshalJSON(b []byte) error {
+	var w traceJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	out := Trace{N: w.N}
+	for _, rec := range w.Rounds {
+		if len(rec.Suspects) != w.N || len(rec.Deliver) != w.N {
+			return fmt.Errorf("core: round %d has %d suspect sets for %d processes", rec.R, len(rec.Suspects), w.N)
+		}
+		out.Rounds = append(out.Rounds, RoundRecord{
+			R:        rec.R,
+			Suspects: rec.Suspects,
+			Deliver:  rec.Deliver,
+			Active:   rec.Active,
+			Crashed:  rec.Crashed,
+		})
+	}
+	*t = out
+	return nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	orig := SetOf(70, 0, 63, 64, 69)
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(orig) || back.Universe() != 70 {
+		t.Fatalf("round trip: %s (n=%d)", back, back.Universe())
+	}
+	if !strings.Contains(string(b), `"members":[0,63,64,69]`) {
+		t.Fatalf("wire form: %s", b)
+	}
+}
+
+func TestSetJSONRejectsOutOfRange(t *testing.T) {
+	var s Set
+	if err := json.Unmarshal([]byte(`{"n":3,"members":[5]}`), &s); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	n := 4
+	oracle := OracleFunc(func(r int, active Set) RoundPlan {
+		sus := make([]Set, n)
+		crashes := NewSet(n)
+		if r == 2 {
+			crashes.Add(3)
+		}
+		for i := range sus {
+			sus[i] = NewSet(n)
+			if r >= 2 {
+				sus[i].Add(3)
+			}
+		}
+		return RoundPlan{Suspects: sus, Crashes: crashes}
+	})
+	orig, err := CollectTrace(n, 3, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != n || back.Len() != orig.Len() {
+		t.Fatalf("shape: n=%d len=%d", back.N, back.Len())
+	}
+	for r := 1; r <= orig.Len(); r++ {
+		a, c := orig.Round(r), back.Round(r)
+		if !a.Active.Equal(c.Active) || !a.Crashed.Equal(c.Crashed) {
+			t.Fatalf("round %d: active/crashed differ", r)
+		}
+		for i := 0; i < n; i++ {
+			if !a.Suspects[i].Equal(c.Suspects[i]) || !a.Deliver[i].Equal(c.Deliver[i]) {
+				t.Fatalf("round %d proc %d: sets differ", r, i)
+			}
+		}
+	}
+	// The deserialized trace must drive the engine like the original.
+	replayed, err := CollectTrace(n, 3, TraceOracle(&back))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.Round(2).Crashed.Has(3) {
+		t.Fatal("replayed trace lost the crash")
+	}
+}
+
+func TestTraceJSONRejectsMalformed(t *testing.T) {
+	var tr Trace
+	if err := json.Unmarshal([]byte(`{"n":3,"rounds":[{"r":1,"suspects":[],"deliver":[]}]}`), &tr); err == nil {
+		t.Fatal("mismatched suspect-set count accepted")
+	}
+	if err := json.Unmarshal([]byte(`{bad json`), &tr); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RoundRecord captures the fault-detector behaviour of one round as seen by
+// the whole system.
+type RoundRecord struct {
+	// R is the round number (1-based).
+	R int
+
+	// Suspects[i] is D(i,r). For processes that did not run the round
+	// (crashed earlier) the entry is the empty set and Active excludes
+	// them.
+	Suspects []Set
+
+	// Deliver[i] is S(i,r), the processes whose round-r message p_i
+	// received.
+	Deliver []Set
+
+	// Active is the set of processes that emitted a round-r message.
+	Active Set
+
+	// Crashed is the cumulative set of processes that had crashed by the
+	// start of round r (they are not in Active).
+	Crashed Set
+}
+
+// Trace records an entire execution for post-hoc validation against model
+// predicates.
+type Trace struct {
+	// N is the number of processes.
+	N int
+
+	// Rounds holds one record per executed round, in order.
+	Rounds []RoundRecord
+}
+
+// NewTrace returns an empty trace for n processes.
+func NewTrace(n int) *Trace { return &Trace{N: n} }
+
+// Append adds a round record to the trace.
+func (t *Trace) Append(rec RoundRecord) { t.Rounds = append(t.Rounds, rec) }
+
+// Len returns the number of recorded rounds.
+func (t *Trace) Len() int { return len(t.Rounds) }
+
+// Round returns the record for round r (1-based), or nil if absent.
+func (t *Trace) Round(r int) *RoundRecord {
+	if r < 1 || r > len(t.Rounds) {
+		return nil
+	}
+	return &t.Rounds[r-1]
+}
+
+// SuspectUnion returns ⋃_{i active} D(i,r) for round r.
+func (t *Trace) SuspectUnion(r int) Set {
+	rec := t.Round(r)
+	if rec == nil {
+		return NewSet(t.N)
+	}
+	u := NewSet(t.N)
+	rec.Active.ForEach(func(p PID) {
+		u = u.Union(rec.Suspects[p])
+	})
+	return u
+}
+
+// SuspectIntersection returns ⋂_{i active} D(i,r) for round r. With no active
+// processes it returns the full set.
+func (t *Trace) SuspectIntersection(r int) Set {
+	rec := t.Round(r)
+	if rec == nil {
+		return FullSet(t.N)
+	}
+	u := FullSet(t.N)
+	rec.Active.ForEach(func(p PID) {
+		u = u.Intersect(rec.Suspects[p])
+	})
+	return u
+}
+
+// CumulativeSuspects returns ⋃_{r' ≤ r} ⋃_i D(i,r'), the set of processes
+// suspected by anyone at any round up to and including r. Pass r = t.Len()
+// for the whole execution.
+func (t *Trace) CumulativeSuspects(r int) Set {
+	u := NewSet(t.N)
+	for rr := 1; rr <= r && rr <= t.Len(); rr++ {
+		u = u.Union(t.SuspectUnion(rr))
+	}
+	return u
+}
+
+// NeverSuspected returns the processes that appear in no D(i,r) over the
+// whole trace.
+func (t *Trace) NeverSuspected() Set {
+	return t.CumulativeSuspects(t.Len()).Complement()
+}
+
+// Prefix returns a shallow view of the first r rounds of the trace (or the
+// whole trace if it is shorter). Useful for predicates that only hold over an
+// execution prefix, such as Theorem 4.1's first ⌊f/k⌋ rounds.
+func (t *Trace) Prefix(r int) *Trace {
+	if r > len(t.Rounds) {
+		r = len(t.Rounds)
+	}
+	if r < 0 {
+		r = 0
+	}
+	return &Trace{N: t.N, Rounds: t.Rounds[:r]}
+}
+
+// String renders a compact human-readable dump of the trace, one line per
+// process per round.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, rec := range t.Rounds {
+		fmt.Fprintf(&b, "round %d active=%s crashed=%s\n", rec.R, rec.Active, rec.Crashed)
+		rec.Active.ForEach(func(p PID) {
+			fmt.Fprintf(&b, "  p%d: D=%s S=%s\n", p, rec.Suspects[p], rec.Deliver[p])
+		})
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTrace constructs a 2-round trace over 4 processes:
+//
+//	round 1: D(0)={3} D(1)={3} D(2)={2,3} D(3)={}   (p3 suspected by 0,1,2)
+//	round 2: p3 crashed; D(i)={3} for live i.
+func buildTrace(t *testing.T) *Trace {
+	t.Helper()
+	n := 4
+	tr := NewTrace(n)
+	tr.Append(RoundRecord{
+		R:        1,
+		Suspects: []Set{SetOf(n, 3), SetOf(n, 3), SetOf(n, 2, 3), NewSet(n)},
+		Deliver:  []Set{SetOf(n, 0, 1, 2), SetOf(n, 0, 1, 2), SetOf(n, 0, 1), FullSet(n)},
+		Active:   FullSet(n),
+		Crashed:  NewSet(n),
+	})
+	tr.Append(RoundRecord{
+		R:        2,
+		Suspects: []Set{SetOf(n, 3), SetOf(n, 3), SetOf(n, 3), NewSet(n)},
+		Deliver:  []Set{SetOf(n, 0, 1, 2), SetOf(n, 0, 1, 2), SetOf(n, 0, 1, 2), NewSet(n)},
+		Active:   SetOf(n, 0, 1, 2),
+		Crashed:  SetOf(n, 3),
+	})
+	return tr
+}
+
+func TestTraceAggregates(t *testing.T) {
+	tr := buildTrace(t)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.SuspectUnion(1); !got.Equal(SetOf(4, 2, 3)) {
+		t.Errorf("SuspectUnion(1) = %s", got)
+	}
+	// Intersection over ACTIVE processes in round 1 includes p3 whose D is
+	// empty, so the intersection is empty.
+	if got := tr.SuspectIntersection(1); !got.Empty() {
+		t.Errorf("SuspectIntersection(1) = %s", got)
+	}
+	if got := tr.SuspectIntersection(2); !got.Equal(SetOf(4, 3)) {
+		t.Errorf("SuspectIntersection(2) = %s", got)
+	}
+	if got := tr.CumulativeSuspects(2); !got.Equal(SetOf(4, 2, 3)) {
+		t.Errorf("CumulativeSuspects = %s", got)
+	}
+	if got := tr.NeverSuspected(); !got.Equal(SetOf(4, 0, 1)) {
+		t.Errorf("NeverSuspected = %s", got)
+	}
+}
+
+func TestTraceRoundBounds(t *testing.T) {
+	tr := buildTrace(t)
+	if tr.Round(0) != nil || tr.Round(3) != nil {
+		t.Fatal("out-of-range rounds must be nil")
+	}
+	if got := tr.SuspectUnion(99); !got.Empty() {
+		t.Errorf("SuspectUnion(out of range) = %s", got)
+	}
+	if got := tr.SuspectIntersection(99); !got.Equal(FullSet(4)) {
+		t.Errorf("SuspectIntersection(out of range) = %s", got)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	s := buildTrace(t).String()
+	for _, want := range []string{"round 1", "round 2", "p0: D={3}", "crashed={3}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace dump missing %q:\n%s", want, s)
+		}
+	}
+}

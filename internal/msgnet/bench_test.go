@@ -1,0 +1,50 @@
+package msgnet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkSendRecv measures raw network op throughput through the
+// scheduler.
+func BenchmarkSendRecv(b *testing.B) {
+	n := 4
+	for i := 0; i < b.N; i++ {
+		_, err := Run(n, Config{Chooser: Seeded(int64(i))}, func(nd *Node) (core.Value, error) {
+			if err := nd.Broadcast(int(nd.Me)); err != nil {
+				return nil, err
+			}
+			for k := 0; k < n; k++ {
+				if _, err := nd.Recv(); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRounds measures the §2 item 3 round protocol (broadcast + wait
+// for n−f) as n grows.
+func BenchmarkRounds(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			f := (n - 1) / 2
+			const rounds = 4
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				out, err := RunRounds(n, f, rounds, Config{Chooser: Seeded(int64(i))}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += out.Steps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N)/rounds, "netops/round")
+		})
+	}
+}

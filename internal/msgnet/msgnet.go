@@ -1,0 +1,326 @@
+// Package msgnet provides an asynchronous message-passing substrate: the
+// system model of §2 item 3 (and the base of the §2 item 4 emulation of
+// shared memory by message passing when 2f < n).
+//
+// Each process runs as a goroutine and interacts with the network only
+// through Node.Send / Node.Broadcast / Node.Recv. A cooperative scheduler
+// serializes the steps and plays the asynchrony adversary: it chooses which
+// process steps next and, on a receive, which in-flight message (per-link
+// FIFO) is delivered. Crashes stop a process after a configured number of
+// steps; its in-flight messages remain deliverable, as in the standard
+// crash model.
+package msgnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ErrCrashed is returned from a network operation once the scheduler has
+// crashed the calling process. Bodies must propagate it and return.
+var ErrCrashed = errors.New("msgnet: process crashed")
+
+// ErrMaxSteps is returned by Run when the step budget is exhausted.
+var ErrMaxSteps = errors.New("msgnet: step budget exhausted")
+
+// ErrDeadlock is returned by Run when every live process is blocked on an
+// empty mailbox — e.g. when more than f processes crash under an
+// f-resilient round protocol.
+var ErrDeadlock = errors.New("msgnet: all live processes blocked on receive")
+
+// Envelope is a delivered message.
+type Envelope struct {
+	From    core.PID
+	To      core.PID
+	Payload core.Value
+}
+
+// Chooser picks among scheduling options: it is called with the global step
+// number and a sorted option list (process IDs when picking who steps,
+// sender IDs when picking which queued message a receive returns) and
+// returns an index into the list.
+type Chooser func(step int, options []core.PID) int
+
+// Seeded returns a deterministic pseudo-random chooser.
+func Seeded(seed int64) Chooser {
+	s := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	return func(step int, options []core.PID) int {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return int((s * 2685821657736338717 >> 33) % uint64(len(options)))
+	}
+}
+
+// Body is the protocol code one process runs.
+type Body func(nd *Node) (core.Value, error)
+
+// Config tunes an execution.
+type Config struct {
+	// Chooser plays the asynchrony adversary; nil means Seeded(1).
+	Chooser Chooser
+
+	// Crash maps a process to the number of network operations it
+	// completes before crashing.
+	Crash map[core.PID]int
+
+	// MaxSteps bounds total scheduled operations; 0 means 1<<20.
+	MaxSteps int
+}
+
+// Outcome reports a finished execution.
+type Outcome struct {
+	Values  map[core.PID]core.Value
+	Errs    map[core.PID]error
+	Steps   int
+	Crashed core.Set
+}
+
+// Node is one process's handle to the network.
+type Node struct {
+	// Me is this process's identity.
+	Me core.PID
+
+	// N is the number of processes.
+	N int
+
+	events chan<- procEvent
+	reply  chan result
+	clock  int
+}
+
+// Clock returns the global scheduler step at which the node's most recent
+// operation executed — a logical timestamp usable for linearizability
+// checking. It is only meaningful between the node's own operations.
+func (nd *Node) Clock() int { return nd.clock }
+
+type opKind int
+
+const (
+	opSend opKind = iota + 1
+	opRecv
+)
+
+type request struct {
+	pid   core.PID
+	kind  opKind
+	env   Envelope
+	reply chan result
+}
+
+type result struct {
+	env  Envelope
+	step int
+	err  error
+}
+
+type procEvent struct {
+	pid core.PID
+	req *request
+	out core.Value
+	err error
+}
+
+// Send queues a message to process to. Delivery order is per-link FIFO but
+// cross-link order is up to the adversary.
+func (nd *Node) Send(to core.PID, payload core.Value) error {
+	if to < 0 || int(to) >= nd.N {
+		return fmt.Errorf("msgnet: send to invalid process %d", to)
+	}
+	_, err := nd.do(&request{pid: nd.Me, kind: opSend,
+		env: Envelope{From: nd.Me, To: to, Payload: payload}})
+	return err
+}
+
+// Broadcast sends payload to every process including the sender, as n
+// individual Send steps (a crash mid-broadcast yields a partial broadcast,
+// exactly the send-omission behaviour of the crash model).
+func (nd *Node) Broadcast(payload core.Value) error {
+	for i := 0; i < nd.N; i++ {
+		if err := nd.Send(core.PID(i), payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv blocks until the adversary delivers some in-flight message addressed
+// to the caller and returns it.
+func (nd *Node) Recv() (Envelope, error) {
+	res, err := nd.do(&request{pid: nd.Me, kind: opRecv})
+	if err != nil {
+		return Envelope{}, err
+	}
+	return res.env, nil
+}
+
+func (nd *Node) do(req *request) (result, error) {
+	req.reply = nd.reply
+	nd.events <- procEvent{pid: nd.Me, req: req}
+	res := <-nd.reply
+	if res.err == nil {
+		nd.clock = res.step
+	}
+	return res, res.err
+}
+
+// mailbox holds per-link FIFO queues of undelivered payloads for one
+// receiver.
+type mailbox struct {
+	queues map[core.PID][]core.Value
+}
+
+func (m *mailbox) push(from core.PID, payload core.Value) {
+	if m.queues == nil {
+		m.queues = make(map[core.PID][]core.Value)
+	}
+	m.queues[from] = append(m.queues[from], payload)
+}
+
+func (m *mailbox) senders() []core.PID {
+	out := make([]core.PID, 0, len(m.queues))
+	for from, q := range m.queues {
+		if len(q) > 0 {
+			out = append(out, from)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *mailbox) pop(from core.PID) core.Value {
+	q := m.queues[from]
+	v := q[0]
+	if len(q) == 1 {
+		delete(m.queues, from)
+	} else {
+		m.queues[from] = q[1:]
+	}
+	return v
+}
+
+// Run executes body at every process under the configured adversary and
+// returns once every body has returned. Goroutines never leak: on crash,
+// deadlock, or step overflow every blocked operation is failed with
+// ErrCrashed so bodies unwind, and Run waits for them all.
+func Run(n int, cfg Config, body Body) (*Outcome, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("msgnet: invalid process count %d", n)
+	}
+	chooser := cfg.Chooser
+	if chooser == nil {
+		chooser = Seeded(1)
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1 << 20
+	}
+
+	events := make(chan procEvent)
+	for i := 0; i < n; i++ {
+		nd := &Node{Me: core.PID(i), N: n, events: events, reply: make(chan result, 1)}
+		go func() {
+			out, err := body(nd)
+			events <- procEvent{pid: nd.Me, out: out, err: err}
+		}()
+	}
+
+	out := &Outcome{
+		Values:  make(map[core.PID]core.Value, n),
+		Errs:    make(map[core.PID]error),
+		Crashed: core.NewSet(n),
+	}
+	boxes := make([]mailbox, n)
+	pending := make(map[core.PID]*request, n)
+	opsDone := make(map[core.PID]int, n)
+	finished := 0
+	computing := n
+	step := 0
+	var abort error // once set, all further ops fail so bodies unwind
+
+	for finished < n {
+		for computing > 0 {
+			ev := <-events
+			computing--
+			if ev.req != nil {
+				pending[ev.pid] = ev.req
+				continue
+			}
+			finished++
+			if ev.err != nil {
+				out.Errs[ev.pid] = ev.err
+			} else {
+				out.Values[ev.pid] = ev.out
+			}
+		}
+		if finished == n {
+			break
+		}
+
+		// Runnable: pending senders, plus pending receivers with mail.
+		runnable := make([]core.PID, 0, len(pending))
+		for pid, req := range pending {
+			if abort != nil {
+				runnable = append(runnable, pid)
+				continue
+			}
+			if req.kind == opSend || len(boxes[pid].senders()) > 0 {
+				runnable = append(runnable, pid)
+			}
+		}
+		sort.Slice(runnable, func(i, j int) bool { return runnable[i] < runnable[j] })
+		if len(runnable) == 0 {
+			abort = ErrDeadlock
+			continue
+		}
+
+		var pick core.PID
+		if abort != nil {
+			pick = runnable[0]
+		} else {
+			idx := chooser(step, runnable)
+			if idx < 0 || idx >= len(runnable) {
+				return nil, fmt.Errorf("msgnet: chooser returned %d for %d options", idx, len(runnable))
+			}
+			pick = runnable[idx]
+		}
+		req := pending[pick]
+		delete(pending, pick)
+
+		limit, hasLimit := cfg.Crash[pick]
+		switch {
+		case abort != nil, hasLimit && opsDone[pick] >= limit:
+			if abort == nil {
+				out.Crashed.Add(pick)
+			}
+			req.reply <- result{err: ErrCrashed}
+		case req.kind == opSend:
+			boxes[req.env.To].push(req.env.From, req.env.Payload)
+			opsDone[pick]++
+			req.reply <- result{step: step}
+		default: // opRecv with mail available
+			senders := boxes[pick].senders()
+			sIdx := chooser(step, senders)
+			if sIdx < 0 || sIdx >= len(senders) {
+				return nil, fmt.Errorf("msgnet: chooser returned %d for %d senders", sIdx, len(senders))
+			}
+			from := senders[sIdx]
+			payload := boxes[pick].pop(from)
+			opsDone[pick]++
+			req.reply <- result{env: Envelope{From: from, To: pick, Payload: payload}, step: step}
+		}
+		computing++
+		step++
+		if step > maxSteps && abort == nil {
+			abort = ErrMaxSteps
+		}
+	}
+	out.Steps = step
+	if abort != nil {
+		return out, abort
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package msgnet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RoundEmit computes the message process me emits at round r given the
+// previous round's receptions (nil at round 1) and suspect set.
+type RoundEmit func(me core.PID, r int, received map[core.PID]core.Value, suspects core.Set) core.Value
+
+// RoundOutcome is the result of running the message-passing round protocol.
+type RoundOutcome struct {
+	// Trace is the induced RRFD trace: Active at round r is the set of
+	// processes that completed the round, Suspects[i] is D(i,r).
+	Trace *core.Trace
+
+	// Views[i][r-1] maps each process in S(i,r) to its round-r message.
+	Views map[core.PID][]map[core.PID]core.Value
+
+	// Crashed is the set of processes crashed by the scheduler.
+	Crashed core.Set
+
+	// Steps is the number of network operations scheduled.
+	Steps int
+}
+
+type roundMsg struct {
+	round int
+	value core.Value
+}
+
+type roundRecord struct {
+	dsets []core.Set
+	views []map[core.PID]core.Value
+}
+
+// RunRounds executes the round-based f-resilient asynchronous protocol of
+// §2 item 3: in each round a process broadcasts its round message, then
+// receives until it holds n−f messages of the current round — buffering
+// messages that are early and discarding messages that are late (the Bracha
+// and Coan construction the paper cites). D(i,r) is the set of processes
+// whose round-r message was missing when p_i advanced.
+//
+// The induced trace satisfies eq. (3) — |D(i,r)| ≤ f — by construction; the
+// tests validate exactly that, and that it can violate the shared-memory
+// predicate eq. (4), which is the paper's point about network partitions
+// when 2f ≥ n.
+func RunRounds(n, f, rounds int, cfg Config, emit RoundEmit) (*RoundOutcome, error) {
+	if emit == nil {
+		emit = func(me core.PID, r int, _ map[core.PID]core.Value, _ core.Set) core.Value {
+			return fmt.Sprintf("p%d@r%d", me, r)
+		}
+	}
+	if len(cfg.Crash) > f {
+		return nil, fmt.Errorf("msgnet: %d crashes exceed resilience f=%d", len(cfg.Crash), f)
+	}
+
+	recs := make([]*roundRecord, n)
+	out, err := Run(n, cfg, func(nd *Node) (core.Value, error) {
+		rec := &roundRecord{}
+		recs[nd.Me] = rec
+		// future buffers messages from rounds ahead of ours.
+		future := make(map[int]map[core.PID]core.Value)
+		var prevMsgs map[core.PID]core.Value
+		prevSus := core.NewSet(n)
+		for r := 1; r <= rounds; r++ {
+			v := emit(nd.Me, r, prevMsgs, prevSus)
+			if err := nd.Broadcast(roundMsg{round: r, value: v}); err != nil {
+				return nil, err
+			}
+			got := future[r]
+			if got == nil {
+				got = make(map[core.PID]core.Value)
+			}
+			delete(future, r)
+			for len(got) < n-f {
+				env, err := nd.Recv()
+				if err != nil {
+					return nil, err
+				}
+				m, ok := env.Payload.(roundMsg)
+				if !ok {
+					return nil, fmt.Errorf("msgnet: foreign payload %T", env.Payload)
+				}
+				switch {
+				case m.round == r:
+					got[env.From] = m.value
+				case m.round > r: // early: buffer
+					if future[m.round] == nil {
+						future[m.round] = make(map[core.PID]core.Value)
+					}
+					future[m.round][env.From] = m.value
+				default: // late: discard
+				}
+			}
+			d := core.FullSet(n)
+			for p := range got {
+				d.Remove(p)
+			}
+			rec.dsets = append(rec.dsets, d)
+			rec.views = append(rec.views, got)
+			prevMsgs, prevSus = got, d
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RoundOutcome{
+		Trace:   core.NewTrace(n),
+		Views:   make(map[core.PID][]map[core.PID]core.Value, n),
+		Crashed: out.Crashed,
+		Steps:   out.Steps,
+	}
+	for i := 0; i < n; i++ {
+		if recs[i] == nil {
+			recs[i] = &roundRecord{}
+		}
+		res.Views[core.PID(i)] = recs[i].views
+	}
+	for r := 1; r <= rounds; r++ {
+		rec := core.RoundRecord{
+			R:        r,
+			Suspects: make([]core.Set, n),
+			Deliver:  make([]core.Set, n),
+			Active:   core.NewSet(n),
+			Crashed:  core.NewSet(n),
+		}
+		for i := 0; i < n; i++ {
+			pid := core.PID(i)
+			if len(recs[i].dsets) >= r {
+				rec.Active.Add(pid)
+				rec.Suspects[i] = recs[i].dsets[r-1]
+				rec.Deliver[i] = recs[i].dsets[r-1].Complement()
+			} else {
+				rec.Suspects[i] = core.NewSet(n)
+				rec.Deliver[i] = core.NewSet(n)
+				if out.Crashed.Has(pid) {
+					rec.Crashed.Add(pid)
+				}
+			}
+		}
+		if rec.Active.Empty() {
+			break
+		}
+		res.Trace.Append(rec)
+	}
+	return res, nil
+}

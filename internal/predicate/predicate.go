@@ -1,0 +1,413 @@
+// Package predicate defines the RRFD model predicates of Gafni (PODC 1998)
+// as first-class, checkable objects. A predicate constrains the family of
+// suspect sets D(i,r) of an execution trace; each concrete system in the
+// paper's §2–§5 is exactly one of these predicates (or a conjunction).
+//
+// Predicates are checked post-hoc over a recorded core.Trace. A nil error
+// means the trace satisfies the predicate; otherwise the returned *Violation
+// pinpoints the first offending round/process.
+package predicate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Violation reports where and how a trace broke a predicate.
+type Violation struct {
+	Predicate string
+	Round     int // 0 when the violation is a whole-trace property
+	Proc      core.PID
+	Detail    string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	where := "whole trace"
+	if v.Round > 0 {
+		where = fmt.Sprintf("round %d", v.Round)
+	}
+	if v.Proc >= 0 {
+		where += fmt.Sprintf(", process %d", v.Proc)
+	}
+	return fmt.Sprintf("predicate %q violated (%s): %s", v.Predicate, where, v.Detail)
+}
+
+// P is a checkable RRFD predicate.
+type P struct {
+	// Name identifies the predicate in reports.
+	Name string
+
+	// Check returns nil iff the trace satisfies the predicate.
+	Check func(t *core.Trace) error
+}
+
+// And returns the conjunction of predicates under the given name.
+func And(name string, preds ...P) P {
+	return P{
+		Name: name,
+		Check: func(t *core.Trace) error {
+			for _, p := range preds {
+				if err := p.Check(t); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// SelfTrusting is the "p_i ∉ D(i,r)" clause of eq. (1): a process never
+// suspects itself.
+func SelfTrusting() P {
+	const name = "self-trusting"
+	return P{Name: name, Check: func(t *core.Trace) error {
+		for _, rec := range t.Rounds {
+			var bad core.PID = -1
+			rec.Active.ForEach(func(p core.PID) {
+				if bad < 0 && rec.Suspects[p].Has(p) {
+					bad = p
+				}
+			})
+			if bad >= 0 {
+				return &Violation{Predicate: name, Round: rec.R, Proc: bad,
+					Detail: "process suspects itself"}
+			}
+		}
+		return nil
+	}}
+}
+
+// TotalSuspectBudget is the |⋃_{r>0} ⋃_i D(i,r)| ≤ f clause of eq. (1): over
+// the whole execution at most f distinct processes are ever suspected.
+func TotalSuspectBudget(f int) P {
+	name := fmt.Sprintf("total-suspect-budget(f=%d)", f)
+	return P{Name: name, Check: func(t *core.Trace) error {
+		u := t.CumulativeSuspects(t.Len())
+		if c := u.Count(); c > f {
+			return &Violation{Predicate: name, Proc: -1,
+				Detail: fmt.Sprintf("%d distinct processes suspected (%s), budget %d", c, u, f)}
+		}
+		return nil
+	}}
+}
+
+// SendOmission is eq. (1): the RRFD counterpart of a synchronous
+// message-passing system with at most f send-omission faults.
+func SendOmission(f int) P {
+	return And(fmt.Sprintf("sync-send-omission(f=%d)", f), SelfTrusting(), TotalSuspectBudget(f))
+}
+
+// SuspicionPropagates is eq. (2): whatever anyone suspected at round r is
+// suspected by everyone at round r+1 — ⋃_i D(i,r) ⊆ D(k,r+1) for all k.
+// Conjoined with eq. (1) it yields the synchronous crash-fault model; the
+// paper notes this makes crash an explicit submodel of send-omission.
+func SuspicionPropagates() P {
+	const name = "suspicion-propagates"
+	return P{Name: name, Check: func(t *core.Trace) error {
+		for r := 1; r < t.Len(); r++ {
+			u := t.SuspectUnion(r)
+			next := t.Round(r + 1)
+			var bad core.PID = -1
+			next.Active.ForEach(func(k core.PID) {
+				if bad < 0 && !u.IsSubset(next.Suspects[k]) {
+					bad = k
+				}
+			})
+			if bad >= 0 {
+				return &Violation{Predicate: name, Round: r + 1, Proc: bad,
+					Detail: fmt.Sprintf("D(%d,%d)=%s does not contain round-%d union %s",
+						bad, r+1, next.Suspects[bad], r, u)}
+			}
+		}
+		return nil
+	}}
+}
+
+// SyncCrash is eqs. (1)+(2): the RRFD counterpart of a synchronous
+// message-passing system with at most f crash faults.
+func SyncCrash(f int) P {
+	return And(fmt.Sprintf("sync-crash(f=%d)", f), SendOmission(f), SuspicionPropagates())
+}
+
+// PerRoundBudget is eq. (3): |D(i,r)| ≤ f for every process and round — the
+// RRFD counterpart of an asynchronous message-passing system with at most f
+// crash failures (a process advances after hearing n−f round messages).
+func PerRoundBudget(f int) P {
+	name := fmt.Sprintf("async-mp(f=%d)", f)
+	return P{Name: name, Check: func(t *core.Trace) error {
+		for _, rec := range t.Rounds {
+			var bad core.PID = -1
+			rec.Active.ForEach(func(p core.PID) {
+				if bad < 0 && rec.Suspects[p].Count() > f {
+					bad = p
+				}
+			})
+			if bad >= 0 {
+				return &Violation{Predicate: name, Round: rec.R, Proc: bad,
+					Detail: fmt.Sprintf("|D|=%d > f=%d (%s)", rec.Suspects[bad].Count(), f, rec.Suspects[bad])}
+			}
+		}
+		return nil
+	}}
+}
+
+// SomeoneSeenByAll is eq. (4): in every round at least one process is
+// suspected by nobody — |⋃_i D(i,r)| < n. Conjoined with eq. (3) it is the
+// paper's RRFD counterpart of asynchronous SWMR shared memory (avoiding the
+// network-partition behaviour message passing has when 2f ≥ n).
+func SomeoneSeenByAll() P {
+	const name = "someone-seen-by-all"
+	return P{Name: name, Check: func(t *core.Trace) error {
+		for _, rec := range t.Rounds {
+			u := t.SuspectUnion(rec.R)
+			if u.Count() >= t.N {
+				return &Violation{Predicate: name, Round: rec.R, Proc: -1,
+					Detail: "every process is suspected by someone"}
+			}
+		}
+		return nil
+	}}
+}
+
+// SharedMemory is eqs. (3)+(4): the RRFD counterpart of an asynchronous SWMR
+// shared-memory system with at most f crash failures (§2 item 4).
+func SharedMemory(f int) P {
+	return And(fmt.Sprintf("shared-memory(f=%d)", f), PerRoundBudget(f), SomeoneSeenByAll())
+}
+
+// NoMutualMiss is the alternative shared-memory clause from §2 item 4:
+// p_j ∈ D(i,r) ⇒ p_i ∉ D(j,r). The paper observes this does NOT imply
+// eq. (4) on its own (misses can form a cycle), so the shared-memory
+// alternative is the conjunction of both.
+func NoMutualMiss() P {
+	const name = "no-mutual-miss"
+	return P{Name: name, Check: func(t *core.Trace) error {
+		for _, rec := range t.Rounds {
+			var badI, badJ core.PID = -1, -1
+			rec.Active.ForEach(func(i core.PID) {
+				if badI >= 0 {
+					return
+				}
+				rec.Suspects[i].ForEach(func(j core.PID) {
+					if badI >= 0 || !rec.Active.Has(j) {
+						return
+					}
+					if rec.Suspects[j].Has(i) {
+						badI, badJ = i, j
+					}
+				})
+			})
+			if badI >= 0 {
+				return &Violation{Predicate: name, Round: rec.R, Proc: badI,
+					Detail: fmt.Sprintf("processes %d and %d suspect each other", badI, badJ)}
+			}
+		}
+		return nil
+	}}
+}
+
+// SelfIncluded requires p_i ∉ D(i,r) — identical to SelfTrusting but named as
+// in §2 item 5's snapshot predicate for readability in conjunctions.
+func SelfIncluded() P {
+	p := SelfTrusting()
+	p.Name = "self-included"
+	return p
+}
+
+// ContainmentChain is the snapshot clause of §2 item 5: within a round the
+// suspect sets are totally ordered by containment — D(i,r) ⊆ D(j,r) or
+// D(j,r) ⊆ D(i,r) for all i,j.
+func ContainmentChain() P {
+	const name = "containment-chain"
+	return P{Name: name, Check: func(t *core.Trace) error {
+		for _, rec := range t.Rounds {
+			members := rec.Active.Members()
+			for a := 0; a < len(members); a++ {
+				for b := a + 1; b < len(members); b++ {
+					di, dj := rec.Suspects[members[a]], rec.Suspects[members[b]]
+					if !di.IsSubset(dj) && !dj.IsSubset(di) {
+						return &Violation{Predicate: name, Round: rec.R, Proc: members[a],
+							Detail: fmt.Sprintf("D(%d)=%s and D(%d)=%s incomparable",
+								members[a], di, members[b], dj)}
+					}
+				}
+			}
+		}
+		return nil
+	}}
+}
+
+// Immediacy is the defining extra clause of the iterated immediate-snapshot
+// model (the paper's reference [4], origin of the round-by-round idea): if
+// p_i hears p_j, then p_i's view contains p_j's — in suspect terms,
+// j ∉ D(i,r) ⇒ D(i,r) ⊆ D(j,r) for active i, j. Together with
+// self-inclusion and the containment chain it makes IIS a strict submodel
+// of the item 5 snapshot model.
+func Immediacy() P {
+	const name = "immediacy"
+	return P{Name: name, Check: func(t *core.Trace) error {
+		for _, rec := range t.Rounds {
+			var badI, badJ core.PID = -1, -1
+			rec.Active.ForEach(func(i core.PID) {
+				if badI >= 0 {
+					return
+				}
+				rec.Active.ForEach(func(j core.PID) {
+					if badI >= 0 || i == j || rec.Suspects[i].Has(j) {
+						return
+					}
+					if !rec.Suspects[i].IsSubset(rec.Suspects[j]) {
+						badI, badJ = i, j
+					}
+				})
+			})
+			if badI >= 0 {
+				return &Violation{Predicate: name, Round: rec.R, Proc: badI,
+					Detail: fmt.Sprintf("hears %d but D(%d)=%s ⊄ D(%d)=%s",
+						badJ, badI, rec.Suspects[badI], badJ, rec.Suspects[badJ])}
+			}
+		}
+		return nil
+	}}
+}
+
+// ImmediateSnapshot is the iterated-immediate-snapshot predicate: the item 5
+// snapshot predicate (with the wait-free budget n−1) strengthened by
+// immediacy.
+func ImmediateSnapshot(n int) P {
+	return And(fmt.Sprintf("immediate-snapshot(n=%d)", n),
+		SelfIncluded(), ContainmentChain(), Immediacy(), PerRoundBudget(n-1))
+}
+
+// AtomicSnapshot is the §2 item 5 predicate: eq. (3) plus self-inclusion plus
+// the containment chain — the RRFD counterpart of an f-resilient asynchronous
+// atomic-snapshot shared-memory system.
+func AtomicSnapshot(f int) P {
+	return And(fmt.Sprintf("atomic-snapshot(f=%d)", f),
+		PerRoundBudget(f), SelfIncluded(), ContainmentChain())
+}
+
+// NeverSuspectedExists is §2 item 6: some process is never suspected by
+// anyone in any round — the RRFD counterpart of an asynchronous system
+// augmented with the failure detector S of Chandra and Toueg. The paper notes
+// this is the same predicate as |⋃_r ⋃_i D(i,r)| < n, i.e. eq. (1)'s budget
+// clause with f = n−1.
+func NeverSuspectedExists() P {
+	const name = "never-suspected-exists"
+	return P{Name: name, Check: func(t *core.Trace) error {
+		if t.NeverSuspected().Empty() {
+			return &Violation{Predicate: name, Proc: -1,
+				Detail: "every process was suspected at some round"}
+		}
+		return nil
+	}}
+}
+
+// EventuallyNeverSuspected is the eventual-accuracy analogue of §2 item 6
+// (the ◇S regime of the §7 research programme): from round stab+1 on, some
+// fixed process appears in no D(i,r). Traces no longer than stab satisfy it
+// vacuously.
+func EventuallyNeverSuspected(stab int) P {
+	name := fmt.Sprintf("eventually-never-suspected(stab=%d)", stab)
+	return P{Name: name, Check: func(t *core.Trace) error {
+		if t.Len() <= stab {
+			return nil
+		}
+		candidates := core.FullSet(t.N)
+		for r := stab + 1; r <= t.Len(); r++ {
+			candidates = candidates.Diff(t.SuspectUnion(r))
+		}
+		if candidates.Empty() {
+			return &Violation{Predicate: name, Proc: -1,
+				Detail: fmt.Sprintf("every process suspected after round %d", stab)}
+		}
+		return nil
+	}}
+}
+
+// KSetDetector is the §3 predicate: |⋃_i D(i,r) \ ⋂_i D(i,r)| < k in every
+// round — the per-round "uncertainty" of the detector is below k. Theorem 3.1
+// shows it solves k-set agreement in one round; Theorem 3.3 shows a system
+// with a k-set-consensus object and SWMR memory implements it.
+func KSetDetector(k int) P {
+	name := fmt.Sprintf("k-set-detector(k=%d)", k)
+	return P{Name: name, Check: func(t *core.Trace) error {
+		for _, rec := range t.Rounds {
+			u := t.SuspectUnion(rec.R)
+			in := t.SuspectIntersection(rec.R).Intersect(u)
+			unc := u.Diff(in)
+			if unc.Count() >= k {
+				return &Violation{Predicate: name, Round: rec.R, Proc: -1,
+					Detail: fmt.Sprintf("uncertainty %s has size %d ≥ k=%d", unc, unc.Count(), k)}
+			}
+		}
+		return nil
+	}}
+}
+
+// IdenticalSuspects is eq. (5) from §5: every process gets the same suspect
+// set each round — D(i,r) = D(j,r) for all i,j. This is the k=1 instance of
+// the §3 detector, implementable in 2 steps of the semi-synchronous model.
+func IdenticalSuspects() P {
+	const name = "identical-suspects"
+	return P{Name: name, Check: func(t *core.Trace) error {
+		for _, rec := range t.Rounds {
+			var first core.Set
+			var bad core.PID = -1
+			got := false
+			rec.Active.ForEach(func(p core.PID) {
+				if bad >= 0 {
+					return
+				}
+				if !got {
+					first, got = rec.Suspects[p], true
+					return
+				}
+				if !rec.Suspects[p].Equal(first) {
+					bad = p
+				}
+			})
+			if bad >= 0 {
+				return &Violation{Predicate: name, Round: rec.R, Proc: bad,
+					Detail: fmt.Sprintf("D(%d)=%s differs from %s", bad, rec.Suspects[bad], first)}
+			}
+		}
+		return nil
+	}}
+}
+
+// BSystem is the §2 item 3 counterexample system B: per round there is a set
+// Q of at most t processes that may each miss up to t others, while everyone
+// else misses at most f. The paper uses it (with f < t, 2t < n) to show
+// eq. (3) is not the weakest RRFD for f-resilient asynchronous message
+// passing: two rounds of B implement one round of the eq. (3) system A.
+func BSystem(f, t int) P {
+	name := fmt.Sprintf("b-system(f=%d,t=%d)", f, t)
+	return P{Name: name, Check: func(tr *core.Trace) error {
+		for _, rec := range tr.Rounds {
+			// Q is the set of processes exceeding the f budget; it must
+			// be small and its members must respect the t budget.
+			q := core.NewSet(tr.N)
+			var bad core.PID = -1
+			rec.Active.ForEach(func(p core.PID) {
+				c := rec.Suspects[p].Count()
+				if c > t {
+					bad = p
+				} else if c > f {
+					q.Add(p)
+				}
+			})
+			if bad >= 0 {
+				return &Violation{Predicate: name, Round: rec.R, Proc: bad,
+					Detail: fmt.Sprintf("|D|=%d exceeds even the t=%d budget", rec.Suspects[bad].Count(), t)}
+			}
+			if q.Count() > t {
+				return &Violation{Predicate: name, Round: rec.R, Proc: -1,
+					Detail: fmt.Sprintf("%d processes exceed the f budget, allowed ≤ t=%d", q.Count(), t)}
+			}
+		}
+		return nil
+	}}
+}

@@ -1,0 +1,79 @@
+package semisync
+
+import "repro/internal/core"
+
+// relayMsg is a slot-tagged broadcast of the relay baseline.
+type relayMsg struct {
+	slot  int
+	value core.Value
+}
+
+// relay is the 2n-step baseline (see DESIGN.md: a faithful-in-spirit
+// substitution for the original Dolev–Dwork–Stockmeyer 2n-step algorithm,
+// which the paper cites as the previously best known and does not
+// reproduce). Processes broadcast in identifier order: p_k forwards the
+// adopted chain value in slot k once it holds slots 0..k−1, pacing slot k
+// to its own steps 2k+1 and later — the DDS phase structure of two own
+// steps per slot. A process decides the chain value once it holds all n
+// slots and has taken 2n steps.
+//
+// It solves consensus in failure-free executions under any schedule and
+// needs Θ(n) steps per process by construction — the yardstick against
+// which Theorem 5.1's 2-step algorithm is compared.
+type relay struct {
+	me    core.PID
+	n     int
+	input core.Value
+
+	steps   int
+	adopted core.Value
+	next    int // lowest slot not yet received
+	sent    bool
+	decided bool
+	slots   map[int]core.Value
+}
+
+// RelayFactory returns the factory for the 2n-step baseline.
+func RelayFactory() Factory {
+	return func(me core.PID, n int, input core.Value) Stepper {
+		return &relay{me: me, n: n, input: input, adopted: input, slots: make(map[int]core.Value)}
+	}
+}
+
+func (r *relay) Step(received []Msg) StepResult {
+	r.steps++
+	for _, m := range received {
+		rm, ok := m.Payload.(relayMsg)
+		if !ok {
+			continue
+		}
+		r.slots[rm.slot] = rm.value
+	}
+	for {
+		if v, ok := r.slots[r.next]; ok {
+			r.adopted = v
+			r.next++
+			continue
+		}
+		break
+	}
+
+	var res StepResult
+	// Broadcast slot me once every earlier slot is in hand and the local
+	// phase clock has reached the slot (own steps ≥ 2·me+1).
+	if !r.sent && r.next == int(r.me) && r.steps >= 2*int(r.me)+1 {
+		r.sent = true
+		r.slots[int(r.me)] = r.adopted
+		r.next++
+		res.Broadcast = relayMsg{slot: int(r.me), value: r.adopted}
+		res.HasBroadcast = true
+	}
+	if !r.decided && r.next >= r.n && r.steps >= 2*r.n {
+		r.decided = true
+		res.Decide, res.Decided = r.adopted, true
+		res.Halt = true
+	}
+	return res
+}
+
+var _ Stepper = (*relay)(nil)

@@ -1,0 +1,198 @@
+package simulate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// TwoForOneMode selects the view-adoption rule of a two-base-rounds-per-
+// simulated-round construction.
+type TwoForOneMode int
+
+const (
+	// ModeUnion is §2 item 4's emulation of one shared-memory round by
+	// two message-passing rounds: the simulated reception set is the
+	// union of the first-round views relayed by the second-round sources.
+	ModeUnion TwoForOneMode = iota + 1
+
+	// ModeAdopt is §2 item 3's B→A construction: adopt wholesale the
+	// first-round view of any second-round source whose view fits the
+	// target budget f.
+	ModeAdopt
+)
+
+// relay is the even-round message: the sender's odd-round receptions.
+type relay struct {
+	views map[core.PID]core.Message
+}
+
+// twoForOne wraps a target-system algorithm so it can run on a base oracle
+// at half speed: odd engine rounds carry the algorithm's messages, even
+// rounds relay first-round views, and the algorithm's Deliver sees the
+// simulated round.
+type twoForOne struct {
+	me     core.PID
+	n      int
+	inner  core.Algorithm
+	mode   TwoForOneMode
+	budget int // target budget f for ModeAdopt
+
+	pending core.Message // inner's message for the current simulated round
+	got     map[core.PID]core.Message
+	dsets   []core.Set // simulated D(i,ρ), for trace assembly
+	err     error
+}
+
+func (a *twoForOne) Emit(r int) core.Message {
+	if r%2 == 1 {
+		a.pending = a.inner.Emit((r + 1) / 2)
+		return a.pending
+	}
+	return relay{views: a.got}
+}
+
+func (a *twoForOne) Deliver(r int, msgs map[core.PID]core.Message, suspects core.Set) (core.Value, bool) {
+	if r%2 == 1 {
+		a.got = msgs
+		return nil, false
+	}
+	rho := r / 2
+	simMsgs, simD, err := a.assemble(msgs)
+	if err != nil {
+		if a.err == nil {
+			a.err = fmt.Errorf("simulate: process %d at simulated round %d: %w", a.me, rho, err)
+		}
+		return nil, false
+	}
+	a.dsets = append(a.dsets, simD)
+	return a.inner.Deliver(rho, simMsgs, simD)
+}
+
+func (a *twoForOne) assemble(relays map[core.PID]core.Message) (map[core.PID]core.Message, core.Set, error) {
+	switch a.mode {
+	case ModeUnion:
+		sim := make(map[core.PID]core.Message)
+		for _, m := range relays {
+			rel, ok := m.(relay)
+			if !ok {
+				return nil, core.Set{}, fmt.Errorf("foreign relay %T", m)
+			}
+			for j, v := range rel.views {
+				sim[j] = v
+			}
+		}
+		d := core.FullSet(a.n)
+		for j := range sim {
+			d.Remove(j)
+		}
+		if d.Count() == a.n {
+			return nil, core.Set{}, fmt.Errorf("empty simulated view")
+		}
+		return sim, d, nil
+	case ModeAdopt:
+		var best map[core.PID]core.Message
+		for _, m := range relays {
+			rel, ok := m.(relay)
+			if !ok {
+				return nil, core.Set{}, fmt.Errorf("foreign relay %T", m)
+			}
+			if a.n-len(rel.views) > a.budget {
+				continue // source exceeded the target budget
+			}
+			if best == nil || len(rel.views) > len(best) {
+				best = rel.views
+			}
+		}
+		if best == nil {
+			return nil, core.Set{}, fmt.Errorf("no source within budget f=%d", a.budget)
+		}
+		sim := make(map[core.PID]core.Message, len(best))
+		for j, v := range best {
+			sim[j] = v
+		}
+		d := core.FullSet(a.n)
+		for j := range sim {
+			d.Remove(j)
+		}
+		return sim, d, nil
+	default:
+		return nil, core.Set{}, fmt.Errorf("unknown mode %d", a.mode)
+	}
+}
+
+// TwoForOneResult reports an executable two-for-one simulation.
+type TwoForOneResult struct {
+	// Result holds the algorithm's outputs with SIMULATED round numbers
+	// and the simulated trace.
+	Result *core.Result
+
+	// BaseRounds is the number of base-system rounds consumed.
+	BaseRounds int
+}
+
+// RunTwoForOne executes an algorithm designed for the simulated system on a
+// base oracle, two base rounds per simulated round. mode picks the §2
+// construction; budget is the target system's f (used by ModeAdopt). The
+// simulation runs until every live process decides or maxSim simulated
+// rounds elapse.
+func RunTwoForOne(n int, inputs []core.Value, factory core.Factory, base core.Oracle,
+	mode TwoForOneMode, budget, maxSim int) (*TwoForOneResult, error) {
+	wrappers := make([]*twoForOne, n)
+	wrapped := func(me core.PID, nn int, input core.Value) core.Algorithm {
+		w := &twoForOne{
+			me: me, n: nn, mode: mode, budget: budget,
+			inner: factory(me, nn, input),
+		}
+		wrappers[me] = w
+		return w
+	}
+	res, err := core.Run(n, inputs, wrapped, base, core.WithMaxRounds(2*maxSim))
+	for _, w := range wrappers {
+		// A wrapper error (e.g. no budget-compliant source) is the root
+		// cause; report it in preference to the engine's round-limit
+		// symptom.
+		if w != nil && w.err != nil {
+			return nil, w.err
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	sim := &core.Result{
+		Outputs:   res.Outputs,
+		DecidedAt: make(map[core.PID]int, len(res.DecidedAt)),
+		Rounds:    res.Rounds / 2,
+		Crashed:   res.Crashed,
+		Trace:     core.NewTrace(n),
+	}
+	for p, r := range res.DecidedAt {
+		sim.DecidedAt[p] = r / 2
+	}
+	for rho := 1; rho <= res.Rounds/2; rho++ {
+		rec := core.RoundRecord{
+			R:        rho,
+			Suspects: make([]core.Set, n),
+			Deliver:  make([]core.Set, n),
+			Active:   core.NewSet(n),
+			Crashed:  core.NewSet(n),
+		}
+		for i := 0; i < n; i++ {
+			if wrappers[i] != nil && len(wrappers[i].dsets) >= rho {
+				rec.Active.Add(core.PID(i))
+				rec.Suspects[i] = wrappers[i].dsets[rho-1]
+				rec.Deliver[i] = wrappers[i].dsets[rho-1].Complement()
+			} else {
+				rec.Suspects[i] = core.NewSet(n)
+				rec.Deliver[i] = core.NewSet(n)
+				rec.Crashed.Add(core.PID(i))
+			}
+		}
+		if rec.Active.Empty() {
+			break
+		}
+		sim.Trace.Append(rec)
+	}
+	return &TwoForOneResult{Result: sim, BaseRounds: res.Rounds}, nil
+}

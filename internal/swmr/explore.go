@@ -1,0 +1,68 @@
+package swmr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrExploreLimit is returned by Explore when maxSchedules executions were
+// run without exhausting the schedule space.
+var ErrExploreLimit = errors.New("swmr: schedule space not exhausted within limit")
+
+// Explore model-checks a system over every possible scheduling of its
+// operations. run is invoked once per schedule with a replay Chooser and must
+// build a fresh system, execute it, and return an error to abort the search
+// (e.g. a property violation, wrapped with context). Explore returns the
+// number of schedules executed.
+//
+// The search is a depth-first enumeration of the scheduler's choice tree. It
+// is exhaustive for terminating systems; maxSchedules caps the search and
+// ErrExploreLimit reports an un-exhausted space.
+func Explore(maxSchedules int, run func(ch Chooser) error) (int, error) {
+	type frame struct {
+		choice  int
+		options int
+	}
+	var stack []frame
+	schedules := 0
+	for {
+		depth := 0
+		ch := func(step int, runnable []core.PID) int {
+			if depth == len(stack) {
+				stack = append(stack, frame{choice: 0, options: len(runnable)})
+			}
+			f := &stack[depth]
+			if f.options != len(runnable) {
+				// The tree is deterministic given the prefix; a mismatch
+				// means run is not replayable.
+				panic(fmt.Sprintf("swmr: non-deterministic replay at depth %d: %d vs %d options",
+					depth, f.options, len(runnable)))
+			}
+			depth++
+			return f.choice
+		}
+		if err := run(ch); err != nil {
+			return schedules, err
+		}
+		schedules++
+		if schedules >= maxSchedules {
+			return schedules, ErrExploreLimit
+		}
+		// Backtrack: drop the unexplored tail recorded beyond this run's
+		// depth, then advance the deepest choice with options left.
+		stack = stack[:depth]
+		for len(stack) > 0 {
+			last := &stack[len(stack)-1]
+			if last.choice+1 < last.options {
+				last.choice++
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return schedules, nil
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Package swmr provides an asynchronous single-writer multi-reader (SWMR)
+// shared-memory substrate: the system model of §2 item 4 and the foundation
+// for the atomic-snapshot object (§2 item 5), the adopt-commit protocol
+// (§4.2), and Theorem 3.3's detector construction.
+//
+// Each process runs as its own goroutine and accesses memory only through
+// Proc.Read / Proc.Write. A cooperative scheduler serializes the operations:
+// every register operation is one atomic step, and an explicit Chooser
+// decides which pending operation executes next. This yields linearizable
+// registers by construction, full control over interleavings (seeded random,
+// round-robin, or exhaustive exploration for model checking), and precise
+// crash injection (a crashed process's next operation fails with ErrCrashed
+// and is never scheduled again).
+package swmr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ErrCrashed is returned from a register operation when the scheduler has
+// crashed the calling process. Protocol bodies must propagate it and return.
+var ErrCrashed = errors.New("swmr: process crashed")
+
+// ErrMaxSteps is returned by Run when the step budget is exhausted before
+// all processes finish (a livelock guard).
+var ErrMaxSteps = errors.New("swmr: step budget exhausted")
+
+// Bottom is the initial value of every register (the paper's ⊥).
+var Bottom core.Value = nil
+
+// Chooser picks which pending operation runs next: it receives the global
+// step number and the sorted PIDs with a pending operation, and returns an
+// index into that slice. Choosers are the scheduling adversary.
+type Chooser func(step int, runnable []core.PID) int
+
+// RoundRobin returns a chooser that cycles fairly through pending processes.
+func RoundRobin() Chooser {
+	next := 0
+	return func(step int, runnable []core.PID) int {
+		next++
+		return next % len(runnable)
+	}
+}
+
+// Seeded returns a deterministic pseudo-random chooser.
+func Seeded(seed int64) Chooser {
+	// xorshift64* keeps the chooser allocation-free and reproducible.
+	s := uint64(seed)*2685821657736338717 + 1
+	return func(step int, runnable []core.PID) int {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return int((s * 2685821657736338717 >> 33) % uint64(len(runnable)))
+	}
+}
+
+// PriorityGroups returns a chooser that always schedules within the
+// earliest listed group that has a runnable process, rotating round-robin
+// inside the group; runnable processes in no group run last. This expresses
+// "run these to completion before those" adversaries — e.g. the schedule
+// that witnesses the Corollary 4.4 lower bound.
+func PriorityGroups(groups ...[]core.PID) Chooser {
+	counter := 0
+	return func(step int, runnable []core.PID) int {
+		for _, g := range groups {
+			var idxs []int
+			for i, p := range runnable {
+				for _, q := range g {
+					if p == q {
+						idxs = append(idxs, i)
+						break
+					}
+				}
+			}
+			if len(idxs) > 0 {
+				counter++
+				return idxs[counter%len(idxs)]
+			}
+		}
+		return 0
+	}
+}
+
+// Body is the protocol code one process runs. It must access shared state
+// only through p and must return promptly once an operation reports
+// ErrCrashed.
+type Body func(p *Proc) (core.Value, error)
+
+// Config tunes an execution.
+type Config struct {
+	// Chooser decides scheduling; nil means Seeded(1).
+	Chooser Chooser
+
+	// Crash maps a process to the number of register operations it
+	// completes before crashing: Crash[p] = 0 crashes p's first
+	// operation. Processes not present never crash.
+	Crash map[core.PID]int
+
+	// MaxSteps bounds total scheduled operations; 0 means 1<<20.
+	MaxSteps int
+}
+
+// Outcome reports a finished execution.
+type Outcome struct {
+	// Values holds the return value of each process whose body returned
+	// without error.
+	Values map[core.PID]core.Value
+
+	// Errs holds the body error of each process that returned one
+	// (crashed processes report ErrCrashed).
+	Errs map[core.PID]error
+
+	// Steps is the number of register operations scheduled.
+	Steps int
+
+	// Crashed is the set of processes crashed by the scheduler.
+	Crashed core.Set
+}
+
+// Decided returns the set of processes that returned a value.
+func (o *Outcome) Decided() core.Set {
+	n := o.Crashed.Universe()
+	s := core.NewSet(n)
+	for p := range o.Values {
+		s.Add(p)
+	}
+	return s
+}
+
+type regKey struct {
+	owner core.PID
+	name  string
+}
+
+type memory struct {
+	cells   map[regKey]core.Value
+	objects map[string]core.Value
+}
+
+func (m *memory) read(k regKey) core.Value { return m.cells[k] }
+
+func (m *memory) write(k regKey, v core.Value) { m.cells[k] = v }
+
+type request struct {
+	pid   core.PID
+	apply func(m *memory) core.Value
+	reply chan result
+}
+
+type result struct {
+	v   core.Value
+	err error
+}
+
+type procEvent struct {
+	pid core.PID
+	req *request // non-nil: an operation; nil: the body returned
+	out core.Value
+	err error
+}
+
+// Proc is one process's handle to the shared memory.
+type Proc struct {
+	// Me is this process's identity.
+	Me core.PID
+
+	// N is the number of processes.
+	N int
+
+	events chan<- procEvent
+	reply  chan result
+}
+
+// Write sets the caller's register name. Only the owner may write a
+// register; Write always writes p.Me's register.
+func (p *Proc) Write(name string, v core.Value) error {
+	k := regKey{owner: p.Me, name: name}
+	_, err := p.do(func(m *memory) core.Value {
+		m.write(k, v)
+		return nil
+	})
+	return err
+}
+
+// Read returns the current value of owner's register name (Bottom if never
+// written).
+func (p *Proc) Read(owner core.PID, name string) (core.Value, error) {
+	k := regKey{owner: owner, name: name}
+	return p.do(func(m *memory) core.Value { return m.read(k) })
+}
+
+// Atomic applies fn to the named auxiliary object's state in one scheduler
+// step and returns fn's result. It models invoking a linearizable shared
+// object that the system is ASSUMED to provide — e.g. the k-set-consensus
+// oracle of Theorem 3.3, which cannot be built from registers (that
+// impossibility is the very content of §3/§4). fn must be deterministic;
+// the initial state is Bottom.
+func (p *Proc) Atomic(name string, fn func(state core.Value) (newState, result core.Value)) (core.Value, error) {
+	return p.do(func(m *memory) core.Value {
+		if m.objects == nil {
+			m.objects = make(map[string]core.Value)
+		}
+		next, res := fn(m.objects[name])
+		m.objects[name] = next
+		return res
+	})
+}
+
+// Collect reads register name of every process, one register operation per
+// process in increasing PID order, and returns the n values (Bottom for
+// unwritten entries). A collect is NOT atomic — it is n separate steps, as
+// in the real model.
+func (p *Proc) Collect(name string) ([]core.Value, error) {
+	out := make([]core.Value, p.N)
+	for i := 0; i < p.N; i++ {
+		v, err := p.Read(core.PID(i), name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *Proc) do(apply func(m *memory) core.Value) (core.Value, error) {
+	req := &request{pid: p.Me, apply: apply, reply: p.reply}
+	p.events <- procEvent{pid: p.Me, req: req}
+	res := <-p.reply
+	return res.v, res.err
+}
+
+// Run executes body at every process under the configured scheduler and
+// returns once every process body has returned. It never leaks goroutines:
+// crashed processes receive ErrCrashed on their pending and subsequent
+// operations, so well-formed bodies unwind promptly, and Run waits for all
+// of them.
+func Run(n int, cfg Config, body Body) (*Outcome, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("swmr: invalid process count %d", n)
+	}
+	chooser := cfg.Chooser
+	if chooser == nil {
+		chooser = Seeded(1)
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1 << 20
+	}
+
+	events := make(chan procEvent)
+	procs := make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &Proc{Me: core.PID(i), N: n, events: events, reply: make(chan result, 1)}
+	}
+	for i := 0; i < n; i++ {
+		go func(p *Proc) {
+			out, err := body(p)
+			events <- procEvent{pid: p.Me, out: out, err: err}
+		}(procs[i])
+	}
+
+	mem := &memory{cells: make(map[regKey]core.Value)}
+	out := &Outcome{
+		Values:  make(map[core.PID]core.Value, n),
+		Errs:    make(map[core.PID]error),
+		Crashed: core.NewSet(n),
+	}
+	pending := make(map[core.PID]*request, n)
+	opsDone := make(map[core.PID]int, n)
+	finished := 0
+	computing := n // processes neither finished nor blocked on an op
+	step := 0
+	var overflow error
+
+	for finished < n {
+		// Quiesce: wait until every live process is blocked or done.
+		for computing > 0 {
+			ev := <-events
+			computing--
+			if ev.req != nil {
+				pending[ev.pid] = ev.req
+				continue
+			}
+			finished++
+			if ev.err != nil {
+				out.Errs[ev.pid] = ev.err
+			} else {
+				out.Values[ev.pid] = ev.out
+			}
+		}
+		if finished == n {
+			break
+		}
+		if len(pending) == 0 {
+			return nil, errors.New("swmr: deadlock: live processes with no pending operations")
+		}
+
+		runnable := make([]core.PID, 0, len(pending))
+		for pid := range pending {
+			runnable = append(runnable, pid)
+		}
+		sort.Slice(runnable, func(i, j int) bool { return runnable[i] < runnable[j] })
+
+		var pick core.PID
+		if overflow != nil {
+			pick = runnable[0] // drain deterministically after overflow
+		} else {
+			idx := chooser(step, runnable)
+			if idx < 0 || idx >= len(runnable) {
+				return nil, fmt.Errorf("swmr: chooser returned %d for %d runnable", idx, len(runnable))
+			}
+			pick = runnable[idx]
+		}
+		req := pending[pick]
+		delete(pending, pick)
+
+		limit, hasLimit := cfg.Crash[pick]
+		switch {
+		case overflow != nil, hasLimit && opsDone[pick] >= limit:
+			if overflow == nil {
+				out.Crashed.Add(pick)
+			}
+			req.reply <- result{err: ErrCrashed}
+		default:
+			v := req.apply(mem)
+			opsDone[pick]++
+			req.reply <- result{v: v}
+		}
+		computing++
+		step++
+		if step > maxSteps && overflow == nil {
+			overflow = ErrMaxSteps
+		}
+	}
+	out.Steps = step
+	if overflow != nil {
+		return out, overflow
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+// Package task formalizes the paper's notion of solvability: "an RRFD
+// system satisfying predicate P solves a task T if there exists an
+// emit-receive format algorithm such that, for any D(i,r) family satisfying
+// P, if processes start with inputs from T, then eventually processes
+// commit to outputs that satisfy T's input/output requirements."
+//
+// A Task is an input/output relation with a decidable checker; Solves
+// quantifies over adversaries (a seeded family standing in for "any D(i,r)
+// family satisfying P") and validates every execution's outputs, predicate
+// compliance, and termination.
+package task
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/predicate"
+)
+
+// Assignment is one execution's input/output pair: Outputs[p] is present
+// only for processes that decided; processes in Crashed are exempt from
+// termination.
+type Assignment struct {
+	Inputs  []core.Value
+	Outputs map[core.PID]core.Value
+	Crashed core.Set
+}
+
+// Task is a distributed task: a relation between input and output vectors.
+type Task interface {
+	// Name identifies the task.
+	Name() string
+
+	// Check returns nil iff the assignment satisfies the task's
+	// input/output relation (including termination of non-crashed
+	// processes).
+	Check(a Assignment) error
+}
+
+// kSet is k-set agreement (§3): outputs are inputs, and at most k distinct
+// values are chosen. k = 1 is consensus.
+type kSet struct {
+	k int
+}
+
+// KSetAgreement returns the k-set agreement task; Consensus returns its
+// k = 1 instance.
+func KSetAgreement(k int) Task { return kSet{k: k} }
+
+// Consensus returns the consensus task.
+func Consensus() Task { return kSet{k: 1} }
+
+func (t kSet) Name() string {
+	if t.k == 1 {
+		return "consensus"
+	}
+	return fmt.Sprintf("%d-set agreement", t.k)
+}
+
+func (t kSet) Check(a Assignment) error {
+	valid := make(map[core.Value]bool, len(a.Inputs))
+	for _, v := range a.Inputs {
+		valid[v] = true
+	}
+	distinct := make(map[core.Value]bool)
+	for p, v := range a.Outputs {
+		if !valid[v] {
+			return fmt.Errorf("task %s: process %d decided %v, not an input", t.Name(), p, v)
+		}
+		distinct[v] = true
+	}
+	if len(distinct) > t.k {
+		return fmt.Errorf("task %s: %d distinct outputs", t.Name(), len(distinct))
+	}
+	for i := range a.Inputs {
+		p := core.PID(i)
+		if a.Crashed.Has(p) {
+			continue
+		}
+		if _, ok := a.Outputs[p]; !ok {
+			return fmt.Errorf("task %s: live process %d did not decide", t.Name(), p)
+		}
+	}
+	return nil
+}
+
+// graded is the adopt-commit task of §4.2, viewed as a task over outputs of
+// the form GradedValue.
+type graded struct{}
+
+// GradedValue is an adopt-commit task output.
+type GradedValue struct {
+	Commit bool
+	Value  core.Value
+}
+
+// AdoptCommit returns the adopt-commit task: validity (output values are
+// inputs), convergence (unanimous input forces unanimous commit), and
+// agreement (a commit forces every output value).
+func AdoptCommit() Task { return graded{} }
+
+func (graded) Name() string { return "adopt-commit" }
+
+func (graded) Check(a Assignment) error {
+	valid := make(map[core.Value]bool, len(a.Inputs))
+	unanimous := true
+	for _, v := range a.Inputs {
+		valid[v] = true
+		if v != a.Inputs[0] {
+			unanimous = false
+		}
+	}
+	for p, out := range a.Outputs {
+		g, ok := out.(GradedValue)
+		if !ok {
+			return fmt.Errorf("adopt-commit: process %d output %T, want GradedValue", p, out)
+		}
+		if !valid[g.Value] {
+			return fmt.Errorf("adopt-commit: process %d carries non-input %v", p, g.Value)
+		}
+		if unanimous && len(a.Inputs) > 0 && (!g.Commit || g.Value != a.Inputs[0]) {
+			return fmt.Errorf("adopt-commit: unanimous input %v but process %d got %+v", a.Inputs[0], p, g)
+		}
+	}
+	for p, out := range a.Outputs {
+		g := out.(GradedValue)
+		if !g.Commit {
+			continue
+		}
+		for q, out2 := range a.Outputs {
+			if g2 := out2.(GradedValue); g2.Value != g.Value {
+				return fmt.Errorf("adopt-commit: process %d committed %v, process %d holds %v",
+					p, g.Value, q, g2.Value)
+			}
+		}
+	}
+	for i := range a.Inputs {
+		p := core.PID(i)
+		if !a.Crashed.Has(p) {
+			if _, ok := a.Outputs[p]; !ok {
+				return fmt.Errorf("adopt-commit: live process %d did not decide", p)
+			}
+		}
+	}
+	return nil
+}
+
+// OracleGen produces, per seed, an adversary intended to satisfy the
+// system predicate — the "for any D(i,r) family" quantifier, sampled.
+type OracleGen func(seed int64) core.Oracle
+
+// Report summarizes a Solves run.
+type Report struct {
+	Task      string
+	Predicate string
+	Trials    int
+
+	// MaxRounds is the latest decision round seen across trials.
+	MaxRounds int
+}
+
+// Solves checks, over trials seeded adversaries, that the algorithm solves
+// the task in the system defined by the predicate: every adversary's trace
+// must satisfy the predicate (otherwise the generator is at fault and the
+// error says so), and every execution's outputs must satisfy the task.
+func Solves(t Task, n int, inputs []core.Value, factory core.Factory,
+	p predicate.P, gen OracleGen, trials int, opts ...core.Option) (*Report, error) {
+	rep := &Report{Task: t.Name(), Predicate: p.Name, Trials: trials}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		res, err := core.Run(n, inputs, factory, gen(seed), opts...)
+		if err != nil {
+			return nil, fmt.Errorf("task %s seed %d: %w", t.Name(), seed, err)
+		}
+		if err := p.Check(res.Trace); err != nil {
+			return nil, fmt.Errorf("task %s seed %d: adversary outside the system: %w", t.Name(), seed, err)
+		}
+		if err := t.Check(Assignment{Inputs: inputs, Outputs: res.Outputs, Crashed: res.Crashed}); err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		if r := res.MaxDecisionRound(); r > rep.MaxRounds {
+			rep.MaxRounds = r
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,91 @@
+package view
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Reception is one simulated message reception of the non-round-based
+// asynchronous system N of §2 item 3: process From's round-Round message,
+// received (possibly late, in a batch) by the reconstructing process.
+type Reception struct {
+	// From is the sender.
+	From core.PID
+
+	// Round is the round in which the message was emitted in the
+	// round-based system A.
+	Round int
+
+	// Payload is the sender's emission of that round — in full
+	// information mode, its view at the end of the previous round.
+	Payload *View
+}
+
+// ReconstructFIFO is the §2 item 3 argument that the round-based system A
+// implements the non-round-based system N: "when p_i receives a round-r
+// message from p_j it can recreate all the simulated messages it missed
+// from p_j since the last round it received a message from p_j, and
+// simulate their FIFO reception at that moment."
+//
+// Given a process's view history it returns the simulated reception log:
+// every sender's messages appear exactly once, in round order per sender
+// (FIFO per link), with the late ones batched at the round of the first
+// direct reception after the gap. The function checks internally that every
+// recreated payload is actually present in the received view and returns an
+// error otherwise (which would refute the construction).
+func ReconstructFIFO(me core.PID, hist []*View) ([]Reception, error) {
+	lastSeen := make(map[core.PID]int)
+	var log []Reception
+	for idx, v := range hist {
+		r := idx + 1
+		if v.Round != r {
+			return nil, fmt.Errorf("view: history out of order: got round %d at position %d", v.Round, idx)
+		}
+		heard := v.HeardFrom(v.Suspected.Universe())
+		var badErr error
+		heard.ForEach(func(j core.PID) {
+			if badErr != nil {
+				return
+			}
+			jv := v.Received[j] // j's view at end of round r−1
+			for x := lastSeen[j] + 1; x <= r; x++ {
+				// j's round-x emission is its view at the end of round
+				// x−1, recoverable from the received view.
+				var payload *View
+				if x == r {
+					payload = jv
+				} else {
+					payload = jv.At(j, x-1)
+				}
+				if payload == nil || payload.Owner != j {
+					badErr = fmt.Errorf("view: cannot recreate p%d's round-%d message from its round-%d view",
+						j, x, r)
+					return
+				}
+				log = append(log, Reception{From: j, Round: x, Payload: payload})
+			}
+			lastSeen[j] = r
+		})
+		if badErr != nil {
+			return nil, badErr
+		}
+	}
+	return log, nil
+}
+
+// CheckFIFO validates a reception log: per-sender rounds must be exactly
+// 1,2,3,... in order (no gap, no duplicate, no reordering) up to that
+// sender's last reception.
+func CheckFIFO(log []Reception) error {
+	next := make(map[core.PID]int)
+	for i, rec := range log {
+		want := next[rec.From] + 1
+		if rec.Round != want {
+			return fmt.Errorf("view: reception %d: message (%d, round %d), want round %d — FIFO broken",
+				i, rec.From, rec.Round, want)
+		}
+		next[rec.From] = rec.Round
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package view
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// WriteEmulation is the §2 item 4 argument that the shared-memory RRFD
+// implements an actual SWMR write operation: "to emulate p_i's write of a
+// value v, run A in full information mode where p_i indicates it is writing
+// v. At the round that all messages received by p_i contain the knowledge
+// of v being written, p_i may terminate the write. In the subsequent round
+// any process will know of v."
+//
+// With the written value standing in for the writer's input, "knowledge of
+// v" is exactly View.Knows(writer).
+type WriteEmulation struct {
+	// Writer is the emulating process.
+	Writer core.PID
+
+	// CompleteRound is the first round at whose end every message the
+	// writer received carried knowledge of the write (0 if never within
+	// the history).
+	CompleteRound int
+
+	// VisibleRound is the first round at whose end EVERY live process
+	// knew of the write (0 if never within the history).
+	VisibleRound int
+}
+
+// EmulateWrite analyses a full-information history for the write-completion
+// structure of §2 item 4 and verifies the paper's claim: once complete, the
+// write is visible to every live process in the subsequent round. It
+// returns an error if the claim fails (VisibleRound > CompleteRound+1).
+func EmulateWrite(n int, writer core.PID, hist History) (*WriteEmulation, error) {
+	w := &WriteEmulation{Writer: writer}
+	rounds := 0
+	for _, h := range hist {
+		if len(h) > rounds {
+			rounds = len(h)
+		}
+	}
+
+	// CompleteRound: every view the writer received this round knows the
+	// write.
+	own := hist[writer]
+	for idx, v := range own {
+		all := true
+		for from, sub := range v.Received {
+			if from == writer {
+				continue // own message trivially knows
+			}
+			if !sub.Knows(writer) {
+				all = false
+				break
+			}
+		}
+		if all && len(v.Received) > 0 {
+			w.CompleteRound = idx + 1
+			break
+		}
+	}
+
+	// VisibleRound: every live process's end-of-round view knows the
+	// write.
+	for r := 1; r <= rounds; r++ {
+		all := true
+		for p := core.PID(0); int(p) < n; p++ {
+			h := hist[p]
+			if len(h) < r {
+				continue // crashed or short history: exempt
+			}
+			if !h[r-1].Knows(writer) {
+				all = false
+				break
+			}
+		}
+		if all {
+			w.VisibleRound = r
+			break
+		}
+	}
+
+	if w.CompleteRound > 0 {
+		if w.VisibleRound == 0 || w.VisibleRound > w.CompleteRound+1 {
+			return w, fmt.Errorf("view: write by %d completed at round %d but visible at %d — the item 4 claim fails",
+				writer, w.CompleteRound, w.VisibleRound)
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,37 @@
+package rrfd
+
+import (
+	"repro/internal/task"
+)
+
+// Task formalizes the paper's solvability definition: an input/output
+// relation with a decidable checker.
+type Task = task.Task
+
+// TaskAssignment is one execution's input/output pair.
+type TaskAssignment = task.Assignment
+
+// TaskReport summarizes a Solves run.
+type TaskReport = task.Report
+
+// TaskOracleGen produces per-seed adversaries for Solves.
+type TaskOracleGen = task.OracleGen
+
+// GradedValue is an adopt-commit task output.
+type GradedValue = task.GradedValue
+
+// Tasks and the solvability checker.
+var (
+	// ConsensusTask is the consensus task.
+	ConsensusTask = task.Consensus
+
+	// KSetAgreementTask is the k-set agreement task of §3.
+	KSetAgreementTask = task.KSetAgreement
+
+	// AdoptCommitTask is the §4.2 adopt-commit task.
+	AdoptCommitTask = task.AdoptCommit
+
+	// Solves machine-checks "the system defined by this predicate solves
+	// this task with this algorithm" over seeded adversary families.
+	Solves = task.Solves
+)
