@@ -1,0 +1,29 @@
+# Build, test and benchmark entry points. `make ci` is what the CI
+# workflow runs; `make bench` regenerates BENCH_core.json, the committed
+# performance baseline every perf PR diffs against.
+
+GO ?= go
+
+# Engine + agreement benchmarks tracked in BENCH_core.json.
+BENCH_PKGS := ./internal/core ./internal/agreement
+BENCH_PAT  ?= .
+
+.PHONY: build test race vet ci bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+ci: vet build race
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchstatjson -o BENCH_core.json

@@ -1,0 +1,168 @@
+// Command benchstatjson converts `go test -bench` text output into a JSON
+// benchmark record, seeding the repo's performance trajectory: every perf
+// PR regenerates BENCH_core.json (make bench) and diffs it against the
+// committed one.
+//
+// It reads benchmark output on stdin, echoes it through to stdout (so it
+// can sit at the end of a pipe without hiding the run), and writes the
+// aggregated JSON to the -o file. Repeated runs of the same benchmark
+// (-count > 1) are aggregated into mean and min ns/op.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/core | go run ./cmd/benchstatjson -o BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurements.
+type Result struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// -GOMAXPROCS suffix (e.g. "EngineRounds/n=16").
+	Name string `json:"name"`
+
+	// Runs is how many times the benchmark line appeared (go test -count).
+	Runs int `json:"runs"`
+
+	// Iterations is the b.N of the last run.
+	Iterations int64 `json:"iterations"`
+
+	// NsPerOp aggregates ns/op across runs.
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	NsPerOpMin  float64 `json:"ns_per_op_min"`
+
+	// BytesPerOp and AllocsPerOp are present with -benchmem (last run).
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+
+	// Metrics holds custom b.ReportMetric values (last run).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the emitted JSON document.
+type File struct {
+	Goos      string   `json:"goos"`
+	Goarch    string   `json:"goarch"`
+	GoVersion string   `json:"go_version"`
+	Results   []Result `json:"results"`
+}
+
+// benchLine matches one result line:
+//
+//	BenchmarkEngineRounds/n=16-8   5647   110880 ns/op   10.00 rounds/run
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op(.*)$`)
+
+// extraStat matches trailing "<value> <unit>" pairs (B/op, allocs/op,
+// custom metrics).
+var extraStat = regexp.MustCompile(`(\d+(?:\.\d+)?) (\S+)`)
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output JSON file")
+	flag.Parse()
+
+	results, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchstatjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	doc := File{
+		Goos:      runtime.GOOS,
+		Goarch:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		Results:   results,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchstatjson: %d benchmarks → %s\n", len(results), *out)
+}
+
+// parse reads benchmark output from r, echoing every line to echo, and
+// returns the aggregated results sorted by name.
+func parse(r io.Reader, echo io.Writer) ([]Result, error) {
+	byName := make(map[string]*Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		nsPerOp, _ := strconv.ParseFloat(m[3], 64)
+		res := byName[name]
+		if res == nil {
+			res = &Result{Name: name, NsPerOpMin: nsPerOp}
+			byName[name] = res
+		}
+		res.Runs++
+		res.Iterations = iters
+		res.NsPerOpMean += (nsPerOp - res.NsPerOpMean) / float64(res.Runs)
+		if nsPerOp < res.NsPerOpMin {
+			res.NsPerOpMin = nsPerOp
+		}
+		for _, stat := range extraStat.FindAllStringSubmatch(m[4], -1) {
+			v, _ := strconv.ParseFloat(stat[1], 64)
+			switch unit := stat[2]; unit {
+			case "B/op":
+				n := int64(v)
+				res.BytesPerOp = &n
+			case "allocs/op":
+				n := int64(v)
+				res.AllocsPerOp = &n
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchstatjson: read: %w", err)
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Result, 0, len(names))
+	for _, name := range names {
+		out = append(out, *byName[name])
+	}
+	return out, nil
+}
+
+// round2 is used by tests to compare floats tolerantly.
+func round2(f float64) float64 {
+	s := strconv.FormatFloat(f, 'f', 2, 64)
+	v, _ := strconv.ParseFloat(strings.TrimRight(s, "0"), 64)
+	return v
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: some CPU
+BenchmarkSetOps/n=16-8         	 8000000	       150 ns/op	      32 B/op	       1 allocs/op
+BenchmarkEngineRounds/n=16-8   	    5647	    110880 ns/op	        10.00 rounds/run
+BenchmarkEngineRounds/n=16-8   	    5700	    109500 ns/op	        10.00 rounds/run
+BenchmarkEngineRounds/n=16-8   	    5500	    112200 ns/op	        10.00 rounds/run
+PASS
+ok  	repro/internal/core	4.2s
+`
+
+func TestParseAggregates(t *testing.T) {
+	var echo bytes.Buffer
+	results, err := parse(strings.NewReader(sampleOutput), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sampleOutput {
+		t.Fatal("parse must echo its input verbatim")
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+
+	// Sorted by name: EngineRounds before SetOps.
+	er := results[0]
+	if er.Name != "EngineRounds/n=16" {
+		t.Fatalf("name = %q", er.Name)
+	}
+	if er.Runs != 3 {
+		t.Fatalf("runs = %d, want 3", er.Runs)
+	}
+	if er.Iterations != 5500 {
+		t.Fatalf("iterations = %d, want last run's 5500", er.Iterations)
+	}
+	if got := round2(er.NsPerOpMean); got != round2((110880+109500+112200)/3.0) {
+		t.Fatalf("mean = %v", er.NsPerOpMean)
+	}
+	if er.NsPerOpMin != 109500 {
+		t.Fatalf("min = %v", er.NsPerOpMin)
+	}
+	if er.Metrics["rounds/run"] != 10 {
+		t.Fatalf("custom metric missing: %v", er.Metrics)
+	}
+
+	so := results[1]
+	if so.Name != "SetOps/n=16" {
+		t.Fatalf("name = %q", so.Name)
+	}
+	if so.BytesPerOp == nil || *so.BytesPerOp != 32 {
+		t.Fatalf("B/op = %v", so.BytesPerOp)
+	}
+	if so.AllocsPerOp == nil || *so.AllocsPerOp != 1 {
+		t.Fatalf("allocs/op = %v", so.AllocsPerOp)
+	}
+}
+
+func TestParseNoBenchLines(t *testing.T) {
+	results, err := parse(strings.NewReader("PASS\nok x 0.1s\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results from non-benchmark input", len(results))
+	}
+}
+
+func TestParseStripsGomaxprocsSuffixOnly(t *testing.T) {
+	// A name ending in a dash-number that is part of a sub-benchmark label
+	// (before the whitespace) must keep everything except the final
+	// -GOMAXPROCS suffix.
+	in := "BenchmarkX/f=3-16 \t 100 \t 2500 ns/op\n"
+	results, err := parse(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "X/f=3" {
+		t.Fatalf("results = %+v", results)
+	}
+}

@@ -6,11 +6,14 @@
 //	go run ./cmd/experiments            # full sweeps (seconds to minutes)
 //	go run ./cmd/experiments -quick     # shrunken sweeps
 //	go run ./cmd/experiments -only E13  # a single experiment
+//	go run ./cmd/experiments -metrics   # engine metric summary per experiment
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -21,21 +24,42 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run shrunken sweeps")
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E07)")
+	metrics := flag.Bool("metrics", false, "print an engine metrics summary after each experiment")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*quick, *only); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	if err := run(*quick, *only, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, only string) error {
+func run(quick bool, only string, metrics bool) error {
 	mode := "full"
 	if quick {
 		mode = "quick"
 	}
 	fmt.Printf("RRFD paper experiments (%s mode)\n", mode)
 	fmt.Printf("Gafni, \"Round-by-Round Fault Detectors: Unifying Synchrony and Asynchrony\", PODC 1998\n\n")
+
+	// With -metrics, every engine execution inside every experiment reports
+	// to one shared Metrics via the process-wide default observer — no
+	// experiment needs to know it is being measured.
+	var m *rrfd.Metrics
+	if metrics {
+		m = rrfd.NewMetrics()
+		rrfd.SetDefaultObserver(m)
+		defer rrfd.SetDefaultObserver(nil)
+	}
 
 	ran := 0
 	for _, e := range rrfd.Experiments() {
@@ -48,11 +72,29 @@ func run(quick bool, only string) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		table.Fprint(os.Stdout)
-		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if m != nil {
+			printSummary(e.ID, m.Snapshot())
+			m.Reset()
+		}
+		fmt.Println()
 		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiment matches %q", only)
 	}
 	return nil
+}
+
+// printSummary renders one experiment's engine-level metrics as a single
+// compact line: how many executions it drove, their shape, and where the
+// engine spent its time.
+func printSummary(id string, s rrfd.MetricsSnapshot) {
+	if s.Runs == 0 {
+		fmt.Printf("  %s metrics: no engine executions (substrate-level experiment)\n", id)
+		return
+	}
+	fmt.Printf("  %s metrics: runs=%d rounds=%d suspicions=%d delivered=%d decisions=%d errors=%d plan=%.0fns/call deliver=%.0fns/round\n",
+		id, s.Runs, s.Rounds, s.SuspicionsTotal, s.MessagesDelivered, s.Decisions, s.RunErrors,
+		s.PhaseMeanNanos["plan"], s.PhaseMeanNanos["deliver"])
 }

@@ -17,6 +17,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	rrfd "repro"
@@ -24,7 +26,16 @@ import (
 
 func main() {
 	rounds := flag.Int("rounds", 1, "rounds per trace (1 or 2; 2 covers temporal predicates)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (the exhaustive sweeps are CPU-bound; e.g. localhost:6060)")
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	if err := run(*rounds); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

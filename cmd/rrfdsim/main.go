@@ -3,49 +3,89 @@
 // round count, optionally the full trace, and checks the system's model
 // predicate on the recorded execution.
 //
+// Observability: -metrics prints a JSON metrics snapshot (rounds to
+// decision, suspicions, D-set size histogram, per-phase wall time),
+// -events FILE streams the execution as JSONL structured events, and
+// -pprof ADDR serves net/http/pprof for live profiling.
+//
 // Usage examples:
 //
 //	go run ./cmd/rrfdsim -system kset -k 2 -n 8 -alg kset
+//	go run ./cmd/rrfdsim -system kset -k 2 -n 8 -alg kset -metrics -events events.jsonl
 //	go run ./cmd/rrfdsim -system crash -n 8 -f 3 -alg floodmin
 //	go run ./cmd/rrfdsim -system s -n 6 -alg coordinator -trace
 //	go run ./cmd/rrfdsim -system snapshot -n 6 -f 2 -alg none -rounds 4
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	rrfd "repro"
 )
 
+// config collects every flag so run is unit-testable without a flag set.
+type config struct {
+	system, alg string
+	n, f, k     int
+	rounds      int
+	seed        int64
+	dumpTrace   bool
+	noTrace     bool
+	outFile     string
+	metrics     bool
+	eventsFile  string
+}
+
 func main() {
-	var (
-		system = flag.String("system", "kset", "system: omission|crash|chain|async|sharedmem|snapshot|kset|identical|s|benign")
-		alg    = flag.String("alg", "kset", "algorithm: kset|floodmin|floodset|coordinator|none")
-		n      = flag.Int("n", 8, "number of processes")
-		f      = flag.Int("f", 2, "fault budget")
-		k      = flag.Int("k", 2, "agreement parameter k")
-		rounds = flag.Int("rounds", 0, "rounds for -alg none / floodmin override (0 = default)")
-		seed   = flag.Int64("seed", 1, "adversary seed")
-		trace  = flag.Bool("trace", false, "dump the execution trace")
-		out    = flag.String("o", "", "write the execution trace as JSON to this file")
-	)
+	var cfg config
+	flag.StringVar(&cfg.system, "system", "kset", "system: omission|crash|chain|async|sharedmem|snapshot|kset|identical|s|benign")
+	flag.StringVar(&cfg.alg, "alg", "kset", "algorithm: kset|floodmin|floodset|coordinator|none")
+	flag.IntVar(&cfg.n, "n", 8, "number of processes")
+	flag.IntVar(&cfg.f, "f", 2, "fault budget")
+	flag.IntVar(&cfg.k, "k", 2, "agreement parameter k")
+	flag.IntVar(&cfg.rounds, "rounds", 0, "rounds for -alg none / floodmin override (0 = default)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "adversary seed")
+	flag.BoolVar(&cfg.dumpTrace, "trace", false, "dump the execution trace")
+	flag.BoolVar(&cfg.noTrace, "notrace", false, "disable trace recording (benchmarking; incompatible with -o and -trace)")
+	flag.StringVar(&cfg.outFile, "o", "", "write the execution trace as JSON to this file")
+	flag.BoolVar(&cfg.metrics, "metrics", false, "print a JSON metrics snapshot after the run")
+	flag.StringVar(&cfg.eventsFile, "events", "", "stream structured JSONL events to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*system, *alg, *n, *f, *k, *rounds, *seed, *trace, *out); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(system, alg string, n, f, k, rounds int, seed int64, dumpTrace bool, outFile string) error {
+func run(cfg config, w io.Writer) error {
+	if err := validate(cfg); err != nil {
+		return err
+	}
+
 	var (
 		oracle rrfd.Oracle
 		pred   rrfd.Predicate
 	)
-	switch system {
+	n, f, k, seed := cfg.n, cfg.f, cfg.k, cfg.seed
+	switch cfg.system {
 	case "omission":
 		oracle, pred = rrfd.Omission(n, f, 0.7, seed), rrfd.SendOmission(f)
 	case "crash":
@@ -67,7 +107,60 @@ func run(system, alg string, n, f, k, rounds int, seed int64, dumpTrace bool, ou
 	case "benign":
 		oracle, pred = rrfd.Benign(n), rrfd.SendOmission(0)
 	default:
-		return fmt.Errorf("unknown system %q", system)
+		return fmt.Errorf("unknown system %q", cfg.system)
+	}
+
+	// Observability wiring: metrics and the JSONL event sink both hang off
+	// the same observer fan-out.
+	var metrics *rrfd.Metrics
+	var events *rrfd.EventLog
+	var eventsBuf *bufio.Writer
+	if cfg.metrics {
+		metrics = rrfd.NewMetrics()
+	}
+	if cfg.eventsFile != "" {
+		file, err := os.Create(cfg.eventsFile)
+		if err != nil {
+			return fmt.Errorf("create events file: %w", err)
+		}
+		defer file.Close()
+		eventsBuf = bufio.NewWriter(file)
+		events = rrfd.NewEventLog(eventsBuf)
+	}
+	observer := rrfd.MultiObserver(metrics, events)
+
+	var opts []rrfd.Option
+	if observer != nil {
+		opts = append(opts, rrfd.WithObserver(observer))
+	}
+	if cfg.noTrace {
+		opts = append(opts, rrfd.WithoutTrace())
+	}
+
+	finish := func(tr *rrfd.Trace) error {
+		if err := writeTrace(w, cfg.outFile, tr); err != nil {
+			return err
+		}
+		if events != nil {
+			if err := eventsBuf.Flush(); err != nil {
+				return fmt.Errorf("flush events: %w", err)
+			}
+			if err := events.Err(); err != nil {
+				return fmt.Errorf("write events: %w", err)
+			}
+			fmt.Fprintf(w, "%d events written to %s\n", events.Lines(), cfg.eventsFile)
+		}
+		if metrics != nil {
+			b, err := metrics.Snapshot().JSON()
+			if err != nil {
+				return fmt.Errorf("encode metrics: %w", err)
+			}
+			fmt.Fprintf(w, "metrics:\n%s\n", b)
+		}
+		if tr != nil {
+			return report(w, pred, tr)
+		}
+		return nil
 	}
 
 	inputs := make([]rrfd.Value, n)
@@ -75,11 +168,17 @@ func run(system, alg string, n, f, k, rounds int, seed int64, dumpTrace bool, ou
 		inputs[i] = i
 	}
 
+	rounds := cfg.rounds
 	var factory rrfd.Factory
 	bound := 0
-	switch alg {
+	switch cfg.alg {
 	case "kset":
-		factory, bound = rrfd.OneRoundKSet(), k
+		bound = k
+		if observer != nil {
+			factory = rrfd.OneRoundKSetObserved(observer)
+		} else {
+			factory = rrfd.OneRoundKSet()
+		}
 	case "floodmin":
 		r := f/k + 1
 		if rounds > 0 {
@@ -94,61 +193,75 @@ func run(system, alg string, n, f, k, rounds int, seed int64, dumpTrace bool, ou
 		if rounds <= 0 {
 			rounds = 5
 		}
-		tr, err := rrfd.CollectTrace(n, rounds, oracle)
+		tr, err := rrfd.CollectTrace(n, rounds, oracle, opts...)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("collected %d rounds from system %q\n", tr.Len(), system)
-		if dumpTrace {
-			fmt.Print(tr.String())
+		fmt.Fprintf(w, "collected %d rounds from system %q\n", tr.Len(), cfg.system)
+		if cfg.dumpTrace {
+			fmt.Fprint(w, tr.String())
 		}
-		if err := writeTrace(outFile, tr); err != nil {
-			return err
-		}
-		return report(pred, tr)
+		return finish(tr)
 	default:
-		return fmt.Errorf("unknown algorithm %q", alg)
+		return fmt.Errorf("unknown algorithm %q", cfg.alg)
 	}
 
-	res, err := rrfd.Run(n, inputs, factory, oracle)
+	res, err := rrfd.Run(n, inputs, factory, oracle, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("system=%s alg=%s n=%d f=%d k=%d seed=%d\n", system, alg, n, f, k, seed)
-	fmt.Printf("rounds: %d, crashed: %s\n", res.Rounds, res.Crashed)
-	fmt.Printf("decisions (%d distinct):\n", res.DistinctOutputs())
+	fmt.Fprintf(w, "system=%s alg=%s n=%d f=%d k=%d seed=%d\n", cfg.system, cfg.alg, n, f, k, seed)
+	fmt.Fprintf(w, "rounds: %d, crashed: %s\n", res.Rounds, res.Crashed)
+	fmt.Fprintf(w, "decisions (%d distinct):\n", res.DistinctOutputs())
 	for p := rrfd.PID(0); int(p) < n; p++ {
 		if v, ok := res.Outputs[p]; ok {
-			fmt.Printf("  p%-3d → %-6v (round %d)\n", p, v, res.DecidedAt[p])
+			fmt.Fprintf(w, "  p%-3d → %-6v (round %d)\n", p, v, res.DecidedAt[p])
 		} else {
-			fmt.Printf("  p%-3d → (no decision)\n", p)
+			fmt.Fprintf(w, "  p%-3d → (no decision)\n", p)
 		}
 	}
 	if err := rrfd.ValidateAgreement(res, inputs, bound, 0); err != nil {
-		fmt.Printf("agreement check: %v\n", err)
+		fmt.Fprintf(w, "agreement check: %v\n", err)
 	} else {
-		fmt.Printf("agreement check: %d-set agreement holds\n", bound)
+		fmt.Fprintf(w, "agreement check: %d-set agreement holds\n", bound)
 	}
-	if dumpTrace {
-		fmt.Print(res.Trace.String())
+	if cfg.dumpTrace {
+		fmt.Fprint(w, res.Trace.String())
 	}
-	if err := writeTrace(outFile, res.Trace); err != nil {
-		return err
-	}
-	return report(pred, res.Trace)
+	return finish(res.Trace)
 }
 
-func report(pred rrfd.Predicate, tr *rrfd.Trace) error {
-	if err := pred.Check(tr); err != nil {
-		return fmt.Errorf("model predicate: %w", err)
+// validate rejects flag combinations that would silently do nothing — in
+// particular -o (and -trace) with trace recording disabled.
+func validate(cfg config) error {
+	if cfg.noTrace && cfg.outFile != "" {
+		return fmt.Errorf("-o %s requires trace recording: drop -notrace", cfg.outFile)
 	}
-	fmt.Printf("model predicate %q: satisfied\n", pred.Name)
+	if cfg.noTrace && cfg.dumpTrace {
+		return fmt.Errorf("-trace requires trace recording: drop -notrace")
+	}
+	if cfg.n <= 0 {
+		return fmt.Errorf("invalid process count %d", cfg.n)
+	}
 	return nil
 }
 
-func writeTrace(path string, tr *rrfd.Trace) error {
+func report(w io.Writer, pred rrfd.Predicate, tr *rrfd.Trace) error {
+	if err := pred.Check(tr); err != nil {
+		return fmt.Errorf("model predicate: %w", err)
+	}
+	fmt.Fprintf(w, "model predicate %q: satisfied\n", pred.Name)
+	return nil
+}
+
+func writeTrace(w io.Writer, path string, tr *rrfd.Trace) error {
 	if path == "" {
 		return nil
+	}
+	if tr == nil {
+		// Unreachable given validate, but guard the invariant anyway: a
+		// requested trace file must never be silently skipped.
+		return fmt.Errorf("no trace recorded, cannot write %s", path)
 	}
 	b, err := json.MarshalIndent(tr, "", "  ")
 	if err != nil {
@@ -157,6 +270,6 @@ func writeTrace(path string, tr *rrfd.Trace) error {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		return fmt.Errorf("write trace: %w", err)
 	}
-	fmt.Printf("trace written to %s\n", path)
+	fmt.Fprintf(w, "trace written to %s\n", path)
 	return nil
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baseConfig() config {
+	return config{system: "kset", alg: "kset", n: 8, f: 2, k: 2, seed: 1}
+}
+
+func TestValidateRejectsOutFileWithoutTrace(t *testing.T) {
+	cfg := baseConfig()
+	cfg.noTrace = true
+	cfg.outFile = "trace.json"
+	err := validate(cfg)
+	if err == nil {
+		t.Fatal("validate accepted -o with -notrace")
+	}
+	if !strings.Contains(err.Error(), "-notrace") {
+		t.Fatalf("error should point at -notrace: %v", err)
+	}
+}
+
+func TestValidateRejectsDumpTraceWithoutTrace(t *testing.T) {
+	cfg := baseConfig()
+	cfg.noTrace = true
+	cfg.dumpTrace = true
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -trace with -notrace")
+	}
+}
+
+func TestValidateRejectsBadN(t *testing.T) {
+	cfg := baseConfig()
+	cfg.n = 0
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted n=0")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := baseConfig()
+	cfg.noTrace = true
+	cfg.outFile = filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err == nil {
+		t.Fatal("run accepted -o with -notrace")
+	}
+	if _, err := os.Stat(cfg.outFile); !os.IsNotExist(err) {
+		t.Fatal("trace file should not have been created")
+	}
+}
+
+func TestRunUnknownSystemAndAlg(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := baseConfig()
+	cfg.system = "nope"
+	if err := run(cfg, &buf); err == nil || !strings.Contains(err.Error(), "unknown system") {
+		t.Fatalf("want unknown system error, got %v", err)
+	}
+	cfg = baseConfig()
+	cfg.alg = "nope"
+	if err := run(cfg, &buf); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("want unknown algorithm error, got %v", err)
+	}
+}
+
+// TestRunMetricsAndEvents drives the acceptance scenario end to end:
+// kset system + kset algorithm with -metrics and -events, then checks
+// that the JSONL event stream is consistent with the printed metrics.
+func TestRunMetricsAndEvents(t *testing.T) {
+	cfg := baseConfig()
+	cfg.metrics = true
+	cfg.eventsFile = filepath.Join(t.TempDir(), "events.jsonl")
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rounds_to_decision", "suspicions_total", "dset_size_hist", "events written to"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Pull the rounds count out of the metrics snapshot.
+	idx := strings.Index(out, "metrics:\n")
+	if idx < 0 {
+		t.Fatalf("no metrics block:\n%s", out)
+	}
+	var snap struct {
+		Rounds int64 `json:"rounds"`
+		Runs   int64 `json:"runs"`
+	}
+	dec := json.NewDecoder(strings.NewReader(out[idx+len("metrics:\n"):]))
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("decode metrics snapshot: %v", err)
+	}
+	if snap.Runs != 1 {
+		t.Fatalf("runs = %d, want 1", snap.Runs)
+	}
+
+	// Count round_start events in the JSONL file; it must match the
+	// metrics round counter (and, transitively, the trace length).
+	f, err := os.Open(cfg.eventsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var roundStarts, runEnds int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		switch ev.Ev {
+		case "round_start":
+			roundStarts++
+		case "run_end":
+			runEnds++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if roundStarts != snap.Rounds {
+		t.Fatalf("round_start events = %d, metrics rounds = %d", roundStarts, snap.Rounds)
+	}
+	if runEnds != 1 {
+		t.Fatalf("run_end events = %d, want 1", runEnds)
+	}
+}
+
+func TestRunWritesTraceFile(t *testing.T) {
+	cfg := baseConfig()
+	cfg.outFile = filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(cfg.outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Fatal("trace file is not valid JSON")
+	}
+}
+
+func TestRunCollectOnly(t *testing.T) {
+	cfg := baseConfig()
+	cfg.alg = "none"
+	cfg.rounds = 4
+	cfg.metrics = true
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "collected 4 rounds") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,60 @@
+package abd
+
+import (
+	"testing"
+
+	"repro/internal/msgnet"
+	"repro/internal/obs"
+)
+
+func TestRunObservedEmitsRegisterEvents(t *testing.T) {
+	n, f := 5, 2
+	m := obs.NewMetrics()
+	writes := 3
+	_, err := RunObserved(n, f, msgnet.Config{}, func(r *Register) error {
+		if r.Writer() {
+			for i := 0; i < writes; i++ {
+				if err := r.Write(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		_, err := r.Read()
+		return err
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := m.Snapshot().Events
+	if ev["abd.write"] != int64(writes) {
+		t.Fatalf("abd.write = %d, want %d (events %v)", ev["abd.write"], writes, ev)
+	}
+	if ev["abd.read"] != int64(n-1) {
+		t.Fatalf("abd.read = %d, want %d", ev["abd.read"], n-1)
+	}
+}
+
+func TestRunObservedWithNetworkObserver(t *testing.T) {
+	// Register-level and network-level events flow through the same
+	// metrics when the caller wires both layers.
+	n, f := 3, 1
+	m := obs.NewMetrics()
+	_, err := RunObserved(n, f, msgnet.Config{Observer: m}, func(r *Register) error {
+		if r.Writer() {
+			return r.Write("x")
+		}
+		_, err := r.Read()
+		return err
+	}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := m.Snapshot().Events
+	if ev["abd.write"] != 1 || ev["abd.read"] != int64(n-1) {
+		t.Fatalf("register events: %v", ev)
+	}
+	if ev["msgnet.send"] == 0 || ev["msgnet.recv"] == 0 || ev["msgnet.done"] != 1 {
+		t.Fatalf("network events missing: %v", ev)
+	}
+}

@@ -1,0 +1,51 @@
+package adoptcommit
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/swmr"
+)
+
+func TestRunObservedEmitsOutcomes(t *testing.T) {
+	n := 4
+	m := obs.NewMetrics()
+	out, err := swmr.Run(n, swmr.Config{}, func(p *swmr.Proc) (core.Value, error) {
+		o, err := RunObserved(p, "inst", "v", m)
+		if err != nil {
+			return nil, err
+		}
+		return o, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, v := range out.Values {
+		if o := v.(Outcome); o.Grade != Commit || o.Value != "v" {
+			t.Fatalf("process %d: %+v, want unanimous commit", p, o)
+		}
+	}
+	ev := m.Snapshot().Events
+	if ev["adoptcommit.outcome"] != int64(n) {
+		t.Fatalf("outcome events = %d, want %d (events %v)", ev["adoptcommit.outcome"], n, ev)
+	}
+}
+
+// TestRunObservedNilMatchesRun checks the nil-observer degradation path.
+func TestRunObservedNilMatchesRun(t *testing.T) {
+	n := 3
+	out, err := swmr.Run(n, swmr.Config{}, func(p *swmr.Proc) (core.Value, error) {
+		o, err := RunObserved(p, "inst", int(p.Me), nil)
+		if err != nil {
+			return nil, err
+		}
+		return o, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Values) != n {
+		t.Fatalf("values: %v", out.Values)
+	}
+}

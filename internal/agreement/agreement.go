@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Validate checks the standard k-set agreement conditions on an execution
@@ -65,13 +66,23 @@ func Validate(res *core.Result, inputs []core.Value, k, maxRound int) error {
 // did not), so every chosen identifier except the globally smallest lies in
 // ⋃D \ ⋂D, whose size is < k — at most k distinct values are chosen.
 type oneRoundKSet struct {
+	me    core.PID
 	input core.Value
+	obs   obs.Observer // nil unless built by OneRoundKSetObserved
 }
 
 // OneRoundKSet returns the factory for Theorem 3.1's one-round algorithm.
 func OneRoundKSet() core.Factory {
+	return OneRoundKSetObserved(nil)
+}
+
+// OneRoundKSetObserved is OneRoundKSet with protocol-level observability:
+// each process reports the identifier it chose (the smallest unsuspected
+// sender) through o as an "agreement.kset_choose" event. A nil observer
+// degrades to the unobserved algorithm.
+func OneRoundKSetObserved(o obs.Observer) core.Factory {
 	return func(me core.PID, n int, input core.Value) core.Algorithm {
-		return &oneRoundKSet{input: input}
+		return &oneRoundKSet{me: me, input: input, obs: o}
 	}
 }
 
@@ -94,6 +105,9 @@ func (a *oneRoundKSet) Deliver(r int, msgs map[core.PID]core.Message, suspects c
 		// Unreachable in a valid system: S(i,r) ∪ D(i,r) = S and
 		// D(i,r) ≠ S guarantee an unsuspected received message.
 		return nil, false
+	}
+	if a.obs != nil {
+		a.obs.Event("agreement.kset_choose", r, int(a.me), map[string]any{"from": int(best)})
 	}
 	return msgs[best], true
 }

@@ -2,6 +2,7 @@ package agreement
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // This file implements the structured, adopt-commit-based consensus of
@@ -34,6 +35,7 @@ type phasedConsensus struct {
 	me  core.PID
 	n   int
 	est core.Value
+	obs obs.Observer // nil unless built by PhasedConsensusObserved
 
 	graded  bool // grade computed in phase 1, emitted in phase 2
 	decided bool
@@ -53,8 +55,26 @@ type phaseMsg struct {
 // process keeps participating after deciding, so laggards catch up one
 // phase later.
 func PhasedConsensus() core.Factory {
+	return PhasedConsensusObserved(nil)
+}
+
+// PhasedConsensusObserved is PhasedConsensus with protocol-level
+// observability: each process reports its phase transitions through o as
+// obs events — "agreement.adopt_coord" when a coordinator estimate is
+// adopted, "agreement.grade" with the adopt-commit phase-1 outcome, and
+// "agreement.commit" / "agreement.adopt" for the phase-2 resolution
+// ("agreement.commit" carries decided=true the first time it fires). A nil
+// observer degrades to the unobserved algorithm.
+func PhasedConsensusObserved(o obs.Observer) core.Factory {
 	return func(me core.PID, n int, input core.Value) core.Algorithm {
-		return &phasedConsensus{me: me, n: n, est: input}
+		return &phasedConsensus{me: me, n: n, est: input, obs: o}
+	}
+}
+
+// event forwards a protocol event when an observer is attached.
+func (a *phasedConsensus) event(kind string, r int, fields map[string]any) {
+	if a.obs != nil {
+		a.obs.Event(kind, r, int(a.me), fields)
 	}
 }
 
@@ -72,6 +92,7 @@ func (a *phasedConsensus) Deliver(r int, msgs map[core.PID]core.Message, suspect
 		coord := core.PID(phase % a.n)
 		if m, ok := msgs[coord]; ok && !suspects.Has(coord) {
 			a.est = m.(phaseMsg).value
+			a.event("agreement.adopt_coord", r, map[string]any{"phase": phase, "coord": int(coord)})
 		}
 	case 1: // adopt-commit phase 1
 		unanimous := true
@@ -92,6 +113,7 @@ func (a *phasedConsensus) Deliver(r int, msgs map[core.PID]core.Message, suspect
 		} else {
 			a.graded = false
 		}
+		a.event("agreement.grade", r, map[string]any{"phase": phase, "commit": a.graded})
 	default: // adopt-commit phase 2
 		sawCommit, allCommit := false, true
 		var commitVal core.Value
@@ -107,11 +129,14 @@ func (a *phasedConsensus) Deliver(r int, msgs map[core.PID]core.Message, suspect
 		switch {
 		case sawCommit && allCommit:
 			a.est = commitVal
-			if !a.decided {
+			first := !a.decided
+			if first {
 				a.decided, a.out = true, commitVal
 			}
+			a.event("agreement.commit", r, map[string]any{"phase": phase, "decided": first})
 		case sawCommit:
 			a.est = commitVal
+			a.event("agreement.adopt", r, map[string]any{"phase": phase})
 		}
 	}
 	if a.decided {

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func BenchmarkSetOps(b *testing.B) {
@@ -49,6 +51,34 @@ func BenchmarkEngineRounds(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_, err := Run(n, inputs, newEchoFactory(rounds), oracle, WithoutTrace())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rounds), "rounds/run")
+		})
+	}
+}
+
+// BenchmarkEngineRoundsObserved is BenchmarkEngineRounds with a Metrics
+// observer attached — the price of full metrics collection, to compare
+// against the observer-free rows (which must stay at seed speed).
+func BenchmarkEngineRoundsObserved(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inputs := make([]Value, n)
+			oracle := OracleFunc(func(r int, active Set) RoundPlan {
+				sus := make([]Set, n)
+				for i := range sus {
+					sus[i] = NewSet(n)
+				}
+				return RoundPlan{Suspects: sus}
+			})
+			m := obs.NewMetrics()
+			const rounds = 10
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := Run(n, inputs, newEchoFactory(rounds), oracle, WithoutTrace(), WithObserver(m))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -3,6 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrMaxRounds is returned by Run when the round limit is reached before
@@ -56,6 +59,8 @@ type engineOptions struct {
 	trace      bool
 	stopOnce   bool
 	extraRound int
+	observer   obs.Observer
+	clock      func() time.Time
 }
 
 // Option configures Run.
@@ -88,7 +93,7 @@ func WithRunToRound(n int) Option {
 // S(i,r) ∪ D(i,r) = S, suspecting everybody, delivering from a process that
 // did not emit, or failing to suspect a crashed process) or if the round
 // limit is hit first.
-func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) (*Result, error) {
+func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) (res *Result, err error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: invalid process count %d", n)
 	}
@@ -99,13 +104,31 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 	for _, opt := range opts {
 		opt(&o)
 	}
+	ob := o.observer
+	if ob == nil {
+		ob = DefaultObserver()
+	}
+	now := o.clock
+	if ob != nil {
+		if now == nil {
+			now = time.Now
+		}
+		ob.RunStart(n)
+		defer func() {
+			rounds, decided := 0, 0
+			if res != nil {
+				rounds, decided = res.Rounds, len(res.DecidedAt)
+			}
+			ob.RunEnd(rounds, decided, err)
+		}()
+	}
 
 	procs := make([]Algorithm, n)
 	for i := range procs {
 		procs[i] = factory(PID(i), n, inputs[i])
 	}
 
-	res := &Result{
+	res = &Result{
 		Outputs:   make(map[PID]Value, n),
 		DecidedAt: make(map[PID]int, n),
 		Crashed:   NewSet(n),
@@ -117,21 +140,42 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 	active := FullSet(n)
 	full := FullSet(n)
 	for r := 1; r <= o.maxRounds; r++ {
+		var phaseStart time.Time
+		if ob != nil {
+			ob.RoundStart(r, active.Count())
+			phaseStart = now()
+		}
 		plan := oracle.Plan(r, active)
+		if ob != nil {
+			ob.Phase(r, "plan", now().Sub(phaseStart))
+		}
 		if err := validatePlan(n, r, active, &plan); err != nil {
 			return nil, err
 		}
 		active = active.Diff(plan.Crashes)
 		res.Crashed = res.Crashed.Union(plan.Crashes)
+		if ob != nil && !plan.Crashes.Empty() {
+			ob.Crash(r, observerInts(plan.Crashes))
+		}
 		if active.Empty() {
 			res.Rounds = r
 			return res, fmt.Errorf("core: all processes crashed at round %d", r)
 		}
 
+		if ob != nil {
+			phaseStart = now()
+		}
 		msgs := make([]Message, n)
 		active.ForEach(func(p PID) {
 			msgs[p] = procs[p].Emit(r)
+			if ob != nil {
+				ob.Emit(r, int(p))
+			}
 		})
+		if ob != nil {
+			ob.Phase(r, "emit", now().Sub(phaseStart))
+			phaseStart = now()
+		}
 
 		var rec RoundRecord
 		if o.trace {
@@ -154,10 +198,17 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 			in := make(map[PID]Message, deliver.Count())
 			deliver.ForEach(func(q PID) { in[q] = msgs[q] })
 			out, decided := procs[p].Deliver(r, in, plan.Suspects[p].Clone())
+			if ob != nil {
+				ob.Suspect(r, int(p), observerInts(plan.Suspects[p]))
+				ob.Deliver(r, int(p), deliver.Count(), plan.Suspects[p].Count())
+			}
 			if decided {
 				if _, done := res.DecidedAt[p]; !done {
 					res.Outputs[p] = out
 					res.DecidedAt[p] = r
+					if ob != nil {
+						ob.Decide(r, int(p))
+					}
 				}
 			}
 			if o.trace {
@@ -165,6 +216,9 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 				rec.Deliver[p] = deliver
 			}
 		})
+		if ob != nil {
+			ob.Phase(r, "deliver", now().Sub(phaseStart))
+		}
 		if deliverErr != nil {
 			return nil, deliverErr
 		}
@@ -218,12 +272,13 @@ func TraceOracle(t *Trace) Oracle {
 // CollectTrace runs a no-op full-information algorithm under the oracle for
 // exactly rounds rounds and returns the recorded trace. It is the bridge from
 // an adversary to the predicate checkers: the trace is the adversary's
-// behaviour, independent of any algorithm.
-func CollectTrace(n, rounds int, oracle Oracle) (*Trace, error) {
+// behaviour, independent of any algorithm. Extra options (e.g. WithObserver)
+// are applied before the round bound, which always wins.
+func CollectTrace(n, rounds int, oracle Oracle, opts ...Option) (*Trace, error) {
 	inputs := make([]Value, n)
 	res, err := Run(n, inputs, func(me PID, n int, input Value) Algorithm {
 		return nopAlgorithm{}
-	}, oracle, WithMaxRounds(rounds))
+	}, oracle, append(append([]Option{}, opts...), WithMaxRounds(rounds))...)
 	if err != nil && !errors.Is(err, ErrMaxRounds) {
 		return nil, err
 	}

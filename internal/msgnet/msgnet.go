@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ErrCrashed is returned from a network operation once the scheduler has
@@ -69,6 +70,13 @@ type Config struct {
 
 	// MaxSteps bounds total scheduled operations; 0 means 1<<20.
 	MaxSteps int
+
+	// Observer, when non-nil, receives one obs event per scheduled
+	// operation ("msgnet.send", "msgnet.recv"), per crash
+	// ("msgnet.crash"), per abnormal stop ("msgnet.deadlock",
+	// "msgnet.maxsteps") and a final "msgnet.done". Substrate events use
+	// round -1: the asynchronous network has steps, not rounds.
+	Observer obs.Observer
 }
 
 // Outcome reports a finished execution.
@@ -295,11 +303,17 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 		case abort != nil, hasLimit && opsDone[pick] >= limit:
 			if abort == nil {
 				out.Crashed.Add(pick)
+				if ob := cfg.Observer; ob != nil {
+					ob.Event("msgnet.crash", -1, int(pick), map[string]any{"ops": opsDone[pick], "step": step})
+				}
 			}
 			req.reply <- result{err: ErrCrashed}
 		case req.kind == opSend:
 			boxes[req.env.To].push(req.env.From, req.env.Payload)
 			opsDone[pick]++
+			if ob := cfg.Observer; ob != nil {
+				ob.Event("msgnet.send", -1, int(pick), map[string]any{"to": int(req.env.To), "step": step})
+			}
 			req.reply <- result{step: step}
 		default: // opRecv with mail available
 			senders := boxes[pick].senders()
@@ -310,6 +324,9 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 			from := senders[sIdx]
 			payload := boxes[pick].pop(from)
 			opsDone[pick]++
+			if ob := cfg.Observer; ob != nil {
+				ob.Event("msgnet.recv", -1, int(pick), map[string]any{"from": int(from), "step": step})
+			}
 			req.reply <- result{env: Envelope{From: from, To: pick, Payload: payload}, step: step}
 		}
 		computing++
@@ -319,6 +336,15 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 		}
 	}
 	out.Steps = step
+	if ob := cfg.Observer; ob != nil {
+		switch abort {
+		case ErrDeadlock:
+			ob.Event("msgnet.deadlock", -1, -1, map[string]any{"step": step})
+		case ErrMaxSteps:
+			ob.Event("msgnet.maxsteps", -1, -1, map[string]any{"step": step})
+		}
+		ob.Event("msgnet.done", -1, -1, map[string]any{"steps": step, "crashed": out.Crashed.Count()})
+	}
 	if abort != nil {
 		return out, abort
 	}

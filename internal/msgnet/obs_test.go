@@ -1,0 +1,70 @@
+package msgnet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func TestRunEmitsNetworkEvents(t *testing.T) {
+	m := obs.NewMetrics()
+	n := 3
+	out, err := Run(n, Config{Observer: m}, func(nd *Node) (core.Value, error) {
+		if err := nd.Broadcast("hi"); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if _, err := nd.Recv(); err != nil {
+				return nil, err
+			}
+		}
+		return "done", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Values) != n {
+		t.Fatalf("values: %v", out.Values)
+	}
+	ev := m.Snapshot().Events
+	if ev["msgnet.send"] != int64(n*n) {
+		t.Fatalf("sends = %d, want %d (events %v)", ev["msgnet.send"], n*n, ev)
+	}
+	if ev["msgnet.recv"] != int64(n*n) {
+		t.Fatalf("recvs = %d, want %d", ev["msgnet.recv"], n*n)
+	}
+	if ev["msgnet.done"] != 1 {
+		t.Fatalf("done = %d", ev["msgnet.done"])
+	}
+	if ev["msgnet.crash"] != 0 || ev["msgnet.deadlock"] != 0 {
+		t.Fatalf("unexpected failure events: %v", ev)
+	}
+}
+
+func TestRunEmitsCrashEvent(t *testing.T) {
+	m := obs.NewMetrics()
+	n := 3
+	_, err := Run(n, Config{
+		Observer: m,
+		Crash:    map[core.PID]int{2: 0}, // p2's first operation crashes
+	}, func(nd *Node) (core.Value, error) {
+		if err := nd.Broadcast("hi"); err != nil {
+			return nil, err
+		}
+		// Only expect messages from the two survivors.
+		for i := 0; i < n-1; i++ {
+			if _, err := nd.Recv(); err != nil {
+				return nil, err
+			}
+		}
+		return "done", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := m.Snapshot().Events
+	if ev["msgnet.crash"] != 1 {
+		t.Fatalf("crash events = %d (events %v)", ev["msgnet.crash"], ev)
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLog is an Observer that streams every hook as one JSON object per
+// line (JSONL) to a writer. Lines are self-describing: every record has an
+// "ev" discriminator, and carries "r" (round) and "p" (process) when they
+// apply. The stream complements core.Trace — the trace is the complete
+// model-level artifact, the event log is the incremental, diffable,
+// tail -f-able one.
+//
+// The schema, one line shape per event kind:
+//
+//	{"ev":"run_start","n":8}
+//	{"ev":"round_start","r":1,"active":8}
+//	{"ev":"phase","r":1,"phase":"plan","ns":1234}
+//	{"ev":"crash","r":2,"crashed":[3,5]}
+//	{"ev":"emit","r":1,"p":0}
+//	{"ev":"suspect","r":1,"p":0,"suspects":[3]}
+//	{"ev":"deliver","r":1,"p":0,"s":7,"d":1}
+//	{"ev":"decide","r":1,"p":0}
+//	{"ev":"run_end","rounds":2,"decided":8}          (+"error" on failure)
+//	{"ev":"event","kind":"msgnet.send","r":-1,"p":0,...fields}
+//
+// All methods are safe for concurrent use. Write errors are sticky: the
+// first one is kept, later writes are dropped, and Err reports it.
+type EventLog struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	lines int64
+	err   error
+}
+
+// NewEventLog returns an EventLog writing JSONL to w. The caller owns w
+// (flushing and closing it); the log only appends lines.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{enc: json.NewEncoder(w)}
+}
+
+// Lines returns the number of lines successfully written.
+func (l *EventLog) Lines() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lines
+}
+
+// Err returns the first write error, if any.
+func (l *EventLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+func (l *EventLog) write(v any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if err := l.enc.Encode(v); err != nil {
+		l.err = err
+		return
+	}
+	l.lines++
+}
+
+// RunStart implements Observer.
+func (l *EventLog) RunStart(n int) {
+	l.write(struct {
+		Ev string `json:"ev"`
+		N  int    `json:"n"`
+	}{"run_start", n})
+}
+
+// RoundStart implements Observer.
+func (l *EventLog) RoundStart(r, active int) {
+	l.write(struct {
+		Ev     string `json:"ev"`
+		R      int    `json:"r"`
+		Active int    `json:"active"`
+	}{"round_start", r, active})
+}
+
+// Emit implements Observer.
+func (l *EventLog) Emit(r, p int) {
+	l.write(struct {
+		Ev string `json:"ev"`
+		R  int    `json:"r"`
+		P  int    `json:"p"`
+	}{"emit", r, p})
+}
+
+// Deliver implements Observer.
+func (l *EventLog) Deliver(r, p, delivered, suspected int) {
+	l.write(struct {
+		Ev string `json:"ev"`
+		R  int    `json:"r"`
+		P  int    `json:"p"`
+		S  int    `json:"s"`
+		D  int    `json:"d"`
+	}{"deliver", r, p, delivered, suspected})
+}
+
+// Suspect implements Observer.
+func (l *EventLog) Suspect(r, p int, suspects []int) {
+	if len(suspects) == 0 {
+		return // benign rounds dominate; elide empty D sets
+	}
+	l.write(struct {
+		Ev       string `json:"ev"`
+		R        int    `json:"r"`
+		P        int    `json:"p"`
+		Suspects []int  `json:"suspects"`
+	}{"suspect", r, p, suspects})
+}
+
+// Crash implements Observer.
+func (l *EventLog) Crash(r int, crashed []int) {
+	l.write(struct {
+		Ev      string `json:"ev"`
+		R       int    `json:"r"`
+		Crashed []int  `json:"crashed"`
+	}{"crash", r, crashed})
+}
+
+// Decide implements Observer.
+func (l *EventLog) Decide(r, p int) {
+	l.write(struct {
+		Ev string `json:"ev"`
+		R  int    `json:"r"`
+		P  int    `json:"p"`
+	}{"decide", r, p})
+}
+
+// RunEnd implements Observer.
+func (l *EventLog) RunEnd(rounds, decided int, err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	l.write(struct {
+		Ev      string `json:"ev"`
+		Rounds  int    `json:"rounds"`
+		Decided int    `json:"decided"`
+		Error   string `json:"error,omitempty"`
+	}{"run_end", rounds, decided, msg})
+}
+
+// Phase implements Observer.
+func (l *EventLog) Phase(r int, phase string, d time.Duration) {
+	l.write(struct {
+		Ev    string `json:"ev"`
+		R     int    `json:"r"`
+		Phase string `json:"phase"`
+		NS    int64  `json:"ns"`
+	}{"phase", r, phase, int64(d)})
+}
+
+// Event implements Observer.
+func (l *EventLog) Event(kind string, r, p int, fields map[string]any) {
+	l.write(struct {
+		Ev     string         `json:"ev"`
+		Kind   string         `json:"kind"`
+		R      int            `json:"r"`
+		P      int            `json:"p"`
+		Fields map[string]any `json:"fields,omitempty"`
+	}{"event", kind, r, p, fields})
+}
+
+var _ Observer = (*EventLog)(nil)

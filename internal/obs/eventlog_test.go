@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.RunStart(4)
+	l.RoundStart(1, 4)
+	l.Phase(1, "plan", 1500*time.Nanosecond)
+	l.Crash(1, []int{3})
+	l.Emit(1, 0)
+	l.Suspect(1, 0, []int{3})
+	l.Suspect(1, 1, nil) // empty D set: elided
+	l.Deliver(1, 0, 3, 1)
+	l.Decide(1, 0)
+	l.Event("msgnet.send", -1, 2, map[string]any{"to": 1})
+	l.RunEnd(1, 1, nil)
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("want 10 lines (empty suspect elided), got %d:\n%s", len(lines), buf.String())
+	}
+	if int(l.Lines()) != len(lines) {
+		t.Fatalf("Lines() = %d, file has %d", l.Lines(), len(lines))
+	}
+	wantEv := []string{"run_start", "round_start", "phase", "crash", "emit", "suspect", "deliver", "decide", "event", "run_end"}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i+1, err, line)
+		}
+		if rec["ev"] != wantEv[i] {
+			t.Fatalf("line %d: ev=%v want %v", i+1, rec["ev"], wantEv[i])
+		}
+	}
+	if !strings.Contains(lines[5], `"suspects":[3]`) {
+		t.Fatalf("suspect line lacks members: %s", lines[5])
+	}
+	if !strings.Contains(lines[8], `"kind":"msgnet.send"`) || !strings.Contains(lines[8], `"to":1`) {
+		t.Fatalf("event line: %s", lines[8])
+	}
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventLogRunEndError(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.RunEnd(3, 0, errors.New("round limit"))
+	if !strings.Contains(buf.String(), `"error":"round limit"`) {
+		t.Fatalf("missing error field: %s", buf.String())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errors.New("disk full")
+}
+
+func TestEventLogStickyError(t *testing.T) {
+	w := &failWriter{}
+	l := NewEventLog(w)
+	l.Emit(1, 0)
+	l.Emit(1, 1)
+	l.Emit(1, 2)
+	if l.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if l.Lines() != 0 {
+		t.Fatalf("failed writes counted: %d", l.Lines())
+	}
+	if w.n != 1 {
+		t.Fatalf("writer called %d times after sticky error, want 1", w.n)
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Deliver(i, w, 3, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Lines() != 800 {
+		t.Fatalf("lines = %d, want 800", l.Lines())
+	}
+	for i, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("interleaved line %d: %v", i+1, err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Metrics is an Observer that aggregates an execution (or many executions)
+// into counters and histograms. All methods are safe for concurrent use, so
+// one Metrics may observe parallel sweeps; Snapshot can be taken at any
+// time.
+type Metrics struct {
+	mu sync.Mutex
+
+	runs       int64
+	runErrors  int64
+	rounds     int64
+	emits      int64
+	delivered  int64
+	suspicions int64
+	crashes    int64
+	decisions  int64
+
+	roundsToDecision   map[int]int64 // decision round → processes deciding there
+	dsetSizes          map[int]int64 // |D(i,r)| → occurrences
+	suspicionsPerRound map[int]int64 // round → Σ_i |D(i,r)|
+	phaseNS            map[string]int64
+	phaseCount         map[string]int64
+	events             map[string]int64
+}
+
+// NewMetrics returns an empty Metrics.
+func NewMetrics() *Metrics {
+	m := &Metrics{}
+	m.reset()
+	return m
+}
+
+func (m *Metrics) reset() {
+	m.runs, m.runErrors, m.rounds = 0, 0, 0
+	m.emits, m.delivered, m.suspicions, m.crashes, m.decisions = 0, 0, 0, 0, 0
+	m.roundsToDecision = make(map[int]int64)
+	m.dsetSizes = make(map[int]int64)
+	m.suspicionsPerRound = make(map[int]int64)
+	m.phaseNS = make(map[string]int64)
+	m.phaseCount = make(map[string]int64)
+	m.events = make(map[string]int64)
+}
+
+// Reset clears every counter and histogram.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reset()
+}
+
+// RunStart implements Observer.
+func (m *Metrics) RunStart(n int) {
+	m.mu.Lock()
+	m.runs++
+	m.mu.Unlock()
+}
+
+// RoundStart implements Observer.
+func (m *Metrics) RoundStart(r, active int) {
+	m.mu.Lock()
+	m.rounds++
+	m.mu.Unlock()
+}
+
+// Emit implements Observer.
+func (m *Metrics) Emit(r, p int) {
+	m.mu.Lock()
+	m.emits++
+	m.mu.Unlock()
+}
+
+// Deliver implements Observer.
+func (m *Metrics) Deliver(r, p, delivered, suspected int) {
+	m.mu.Lock()
+	m.delivered += int64(delivered)
+	m.suspicions += int64(suspected)
+	m.dsetSizes[suspected]++
+	m.suspicionsPerRound[r] += int64(suspected)
+	m.mu.Unlock()
+}
+
+// Suspect implements Observer. D-set accounting happens in Deliver (which
+// carries the same cardinality without the slice), so Suspect is a no-op.
+func (m *Metrics) Suspect(r, p int, suspects []int) {}
+
+// Crash implements Observer.
+func (m *Metrics) Crash(r int, crashed []int) {
+	m.mu.Lock()
+	m.crashes += int64(len(crashed))
+	m.mu.Unlock()
+}
+
+// Decide implements Observer.
+func (m *Metrics) Decide(r, p int) {
+	m.mu.Lock()
+	m.decisions++
+	m.roundsToDecision[r]++
+	m.mu.Unlock()
+}
+
+// RunEnd implements Observer.
+func (m *Metrics) RunEnd(rounds, decided int, err error) {
+	if err == nil {
+		return
+	}
+	m.mu.Lock()
+	m.runErrors++
+	m.mu.Unlock()
+}
+
+// Phase implements Observer.
+func (m *Metrics) Phase(r int, phase string, d time.Duration) {
+	m.mu.Lock()
+	m.phaseNS[phase] += int64(d)
+	m.phaseCount[phase]++
+	m.mu.Unlock()
+}
+
+// Event implements Observer.
+func (m *Metrics) Event(kind string, r, p int, fields map[string]any) {
+	m.mu.Lock()
+	m.events[kind]++
+	m.mu.Unlock()
+}
+
+var _ Observer = (*Metrics)(nil)
+
+// Snapshot is a point-in-time copy of a Metrics, shaped for JSON.
+// Histogram maps are keyed by the integer rendered as a decimal string
+// (encoding/json requires string keys).
+type Snapshot struct {
+	// Runs and RunErrors count engine executions observed and how many
+	// ended in error.
+	Runs      int64 `json:"runs"`
+	RunErrors int64 `json:"run_errors"`
+
+	// Rounds is the total rounds executed across runs.
+	Rounds int64 `json:"rounds"`
+
+	// Emits and MessagesDelivered count Emit calls and Σ|S(i,r)|.
+	Emits             int64 `json:"emits"`
+	MessagesDelivered int64 `json:"messages_delivered"`
+
+	// SuspicionsTotal is Σ_{i,r} |D(i,r)|; Crashes counts real crashes;
+	// Decisions counts first decisions.
+	SuspicionsTotal int64 `json:"suspicions_total"`
+	Crashes         int64 `json:"crashes"`
+	Decisions       int64 `json:"decisions"`
+
+	// RoundsToDecision maps decision round → number of processes that
+	// first decided in that round.
+	RoundsToDecision map[int]int64 `json:"rounds_to_decision"`
+
+	// DSetSizeHist maps |D(i,r)| → number of (process, round) pairs with
+	// a suspect set of that size.
+	DSetSizeHist map[int]int64 `json:"dset_size_hist"`
+
+	// SuspicionsPerRound maps round → Σ_i |D(i,r)| summed across runs.
+	SuspicionsPerRound map[int]int64 `json:"suspicions_per_round"`
+
+	// PhaseNanos and PhaseMeanNanos report total and mean wall time per
+	// engine phase ("plan", "emit", "deliver").
+	PhaseNanos     map[string]int64   `json:"phase_ns"`
+	PhaseMeanNanos map[string]float64 `json:"phase_mean_ns"`
+
+	// OraclePlanMeanNanos is the mean latency of one oracle.Plan call —
+	// PhaseMeanNanos["plan"], surfaced because it is the number perf
+	// work on adversaries tracks.
+	OraclePlanMeanNanos float64 `json:"oracle_plan_mean_ns"`
+
+	// Events counts protocol-level events by kind.
+	Events map[string]int64 `json:"events,omitempty"`
+}
+
+// Snapshot returns a consistent copy of the current state.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Runs:               m.runs,
+		RunErrors:          m.runErrors,
+		Rounds:             m.rounds,
+		Emits:              m.emits,
+		MessagesDelivered:  m.delivered,
+		SuspicionsTotal:    m.suspicions,
+		Crashes:            m.crashes,
+		Decisions:          m.decisions,
+		RoundsToDecision:   copyIntMap(m.roundsToDecision),
+		DSetSizeHist:       copyIntMap(m.dsetSizes),
+		SuspicionsPerRound: copyIntMap(m.suspicionsPerRound),
+		PhaseNanos:         make(map[string]int64, len(m.phaseNS)),
+		PhaseMeanNanos:     make(map[string]float64, len(m.phaseNS)),
+	}
+	for phase, ns := range m.phaseNS {
+		s.PhaseNanos[phase] = ns
+		if c := m.phaseCount[phase]; c > 0 {
+			s.PhaseMeanNanos[phase] = float64(ns) / float64(c)
+		}
+	}
+	s.OraclePlanMeanNanos = s.PhaseMeanNanos["plan"]
+	if len(m.events) > 0 {
+		s.Events = make(map[string]int64, len(m.events))
+		for k, v := range m.events {
+			s.Events[k] = v
+		}
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+func copyIntMap(src map[int]int64) map[int]int64 {
+	dst := make(map[int]int64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}

@@ -1,0 +1,226 @@
+// Package obs is the execution observability layer: a zero-dependency
+// (stdlib-only) metrics and structured-event subsystem for the RRFD engine
+// and its substrates.
+//
+// The design splits observation into three pieces:
+//
+//   - Observer — the hook interface the engine (core.Run via
+//     core.WithObserver) and the substrates (msgnet, agreement, adoptcommit,
+//     abd) call at every interesting point of an execution. The engine pays
+//     nothing when no observer is attached: every hook site is guarded by a
+//     single nil check.
+//   - Metrics — a concurrency-safe Observer aggregating counters and
+//     histograms (rounds to decision, suspicions per round, D-set sizes,
+//     per-phase wall time, protocol events) with a JSON-serializable
+//     Snapshot.
+//   - EventLog — an Observer streaming every hook as one JSON object per
+//     line (JSONL), so full executions can be archived, replayed and diffed
+//     alongside the in-memory core.Trace.
+//
+// Observers deliberately speak in primitive types (ints, slices) rather
+// than core.Set / core.PID so that core can depend on obs without a cycle.
+// Process identifiers are plain ints; -1 means "no process" and round -1
+// means "no round" (used by the asynchronous substrates, which have steps
+// rather than rounds).
+package obs
+
+import (
+	"reflect"
+	"time"
+)
+
+// Observer receives structured events from an execution. Implementations
+// must be safe for use from a single engine goroutine; Metrics and EventLog
+// are additionally safe for concurrent use from many executions at once.
+//
+// Embed Base to implement only the hooks you care about.
+type Observer interface {
+	// RunStart announces a new engine execution over n processes.
+	RunStart(n int)
+
+	// RoundStart announces round r; active is the number of processes
+	// that survived into the round (before any round-r crashes).
+	RoundStart(r, active int)
+
+	// Emit reports that process p emitted its round-r message.
+	Emit(r, p int)
+
+	// Deliver reports the end of process p's round r: it received
+	// delivered messages (|S(p,r)|) and was told suspected suspicions
+	// (|D(p,r)|).
+	Deliver(r, p, delivered, suspected int)
+
+	// Suspect reports D(p,r) by member list. The slice is owned by the
+	// caller; observers must copy it if they retain it.
+	Suspect(r, p int, suspects []int)
+
+	// Crash reports the processes crashed by the adversary at the start
+	// of round r. The slice is owned by the caller.
+	Crash(r int, crashed []int)
+
+	// Decide reports that process p first committed to an output in
+	// round r.
+	Decide(r, p int)
+
+	// RunEnd closes the execution opened by RunStart: rounds executed,
+	// processes decided, and the engine error (nil on success).
+	RunEnd(rounds, decided int, err error)
+
+	// Phase reports the wall time of one engine phase ("plan", "emit",
+	// "deliver") of round r, measured with the engine's injected clock.
+	Phase(r int, phase string, d time.Duration)
+
+	// Event is the extension point for protocol-level events outside the
+	// engine's fixed vocabulary (message-passing steps, adopt-commit
+	// outcomes, register quorums, ...). kind is dot-namespaced
+	// ("msgnet.send", "adoptcommit.outcome"); r and p are -1 when not
+	// applicable; fields hold event-specific data and may be nil. The
+	// map is owned by the caller.
+	Event(kind string, r, p int, fields map[string]any)
+}
+
+// Base is an Observer with every hook a no-op. Embed it to implement only
+// a subset of the interface.
+type Base struct{}
+
+// RunStart implements Observer.
+func (Base) RunStart(int) {}
+
+// RoundStart implements Observer.
+func (Base) RoundStart(int, int) {}
+
+// Emit implements Observer.
+func (Base) Emit(int, int) {}
+
+// Deliver implements Observer.
+func (Base) Deliver(int, int, int, int) {}
+
+// Suspect implements Observer.
+func (Base) Suspect(int, int, []int) {}
+
+// Crash implements Observer.
+func (Base) Crash(int, []int) {}
+
+// Decide implements Observer.
+func (Base) Decide(int, int) {}
+
+// RunEnd implements Observer.
+func (Base) RunEnd(int, int, error) {}
+
+// Phase implements Observer.
+func (Base) Phase(int, string, time.Duration) {}
+
+// Event implements Observer.
+func (Base) Event(string, int, int, map[string]any) {}
+
+var _ Observer = Base{}
+
+// multi fans every hook out to several observers in order.
+type multi []Observer
+
+// Multi combines observers into one that forwards every hook to each, in
+// argument order. Nil entries — including typed nils such as a
+// (*Metrics)(nil) passed through the interface — are skipped; with zero
+// non-nil observers it returns nil, so the caller's "is anything
+// observing?" nil check keeps working.
+func Multi(obs ...Observer) Observer {
+	var live multi
+	for _, o := range obs {
+		if !isNil(o) {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}
+
+// isNil reports whether o is nil as an interface or wraps a nil pointer —
+// the classic typed-nil footgun when a caller passes an unassigned
+// *Metrics or *EventLog variable.
+func isNil(o Observer) bool {
+	if o == nil {
+		return true
+	}
+	v := reflect.ValueOf(o)
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Func, reflect.Chan, reflect.Slice:
+		return v.IsNil()
+	}
+	return false
+}
+
+// RunStart implements Observer.
+func (m multi) RunStart(n int) {
+	for _, o := range m {
+		o.RunStart(n)
+	}
+}
+
+// RoundStart implements Observer.
+func (m multi) RoundStart(r, active int) {
+	for _, o := range m {
+		o.RoundStart(r, active)
+	}
+}
+
+// Emit implements Observer.
+func (m multi) Emit(r, p int) {
+	for _, o := range m {
+		o.Emit(r, p)
+	}
+}
+
+// Deliver implements Observer.
+func (m multi) Deliver(r, p, delivered, suspected int) {
+	for _, o := range m {
+		o.Deliver(r, p, delivered, suspected)
+	}
+}
+
+// Suspect implements Observer.
+func (m multi) Suspect(r, p int, suspects []int) {
+	for _, o := range m {
+		o.Suspect(r, p, suspects)
+	}
+}
+
+// Crash implements Observer.
+func (m multi) Crash(r int, crashed []int) {
+	for _, o := range m {
+		o.Crash(r, crashed)
+	}
+}
+
+// Decide implements Observer.
+func (m multi) Decide(r, p int) {
+	for _, o := range m {
+		o.Decide(r, p)
+	}
+}
+
+// RunEnd implements Observer.
+func (m multi) RunEnd(rounds, decided int, err error) {
+	for _, o := range m {
+		o.RunEnd(rounds, decided, err)
+	}
+}
+
+// Phase implements Observer.
+func (m multi) Phase(r int, phase string, d time.Duration) {
+	for _, o := range m {
+		o.Phase(r, phase, d)
+	}
+}
+
+// Event implements Observer.
+func (m multi) Event(kind string, r, p int, fields map[string]any) {
+	for _, o := range m {
+		o.Event(kind, r, p, fields)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// recorder appends hook names in call order.
+type recorder struct {
+	Base
+	calls []string
+}
+
+func (r *recorder) RoundStart(int, int)              { r.calls = append(r.calls, "round") }
+func (r *recorder) Decide(int, int)                  { r.calls = append(r.calls, "decide") }
+func (r *recorder) Phase(int, string, time.Duration) { r.calls = append(r.calls, "phase") }
+
+func TestMultiNilHandling(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi(nil, nil) should be nil")
+	}
+	r := &recorder{}
+	if got := Multi(nil, r, nil); got != Observer(r) {
+		t.Fatal("Multi with one live observer should return it unwrapped")
+	}
+}
+
+// TestMultiDropsTypedNils covers the typed-nil footgun: an unassigned
+// *Metrics or *EventLog variable passed through the Observer interface is
+// not == nil, but must still be dropped rather than dereferenced later.
+func TestMultiDropsTypedNils(t *testing.T) {
+	var m *Metrics
+	var e *EventLog
+	if got := Multi(m, e); got != nil {
+		t.Fatalf("Multi(typed nil, typed nil) = %v, want nil", got)
+	}
+	r := &recorder{}
+	combined := Multi(m, r, e)
+	if combined != Observer(r) {
+		t.Fatal("typed nils should be filtered, leaving the live observer unwrapped")
+	}
+	combined.RunStart(1) // must not panic
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &recorder{}, &recorder{}
+	m := Multi(a, nil, b)
+	m.RunStart(3)
+	m.RoundStart(1, 3)
+	m.Emit(1, 0)
+	m.Deliver(1, 0, 2, 1)
+	m.Suspect(1, 0, []int{2})
+	m.Crash(1, []int{2})
+	m.Decide(1, 0)
+	m.Phase(1, "plan", time.Nanosecond)
+	m.Event("k", 1, 0, nil)
+	m.RunEnd(1, 1, nil)
+	want := []string{"round", "decide", "phase"}
+	for _, rec := range []*recorder{a, b} {
+		if len(rec.calls) != len(want) {
+			t.Fatalf("calls = %v", rec.calls)
+		}
+		for i := range want {
+			if rec.calls[i] != want[i] {
+				t.Fatalf("calls = %v, want %v", rec.calls, want)
+			}
+		}
+	}
+}
+
+func TestBaseIsObserver(t *testing.T) {
+	var o Observer = Base{}
+	// Every hook must be callable without panicking.
+	o.RunStart(1)
+	o.RoundStart(1, 1)
+	o.Emit(1, 0)
+	o.Deliver(1, 0, 1, 0)
+	o.Suspect(1, 0, nil)
+	o.Crash(1, nil)
+	o.Decide(1, 0)
+	o.Phase(1, "plan", 0)
+	o.Event("k", -1, -1, nil)
+	o.RunEnd(1, 1, nil)
+}
