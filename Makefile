@@ -8,7 +8,7 @@ GO ?= go
 BENCH_PKGS := ./internal/core ./internal/agreement
 BENCH_PAT  ?= .
 
-.PHONY: build test race vet ci bench
+.PHONY: build test race vet ci bench chaos-short chaos
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,23 @@ race:
 vet:
 	$(GO) vet ./...
 
-ci: vet build race
+ci: vet build race chaos-short
+
+# Fixed-seed, small-N fault-injection campaigns under the race detector:
+# quick enough for every CI run, loud on any safety violation (the chaos
+# binary exits non-zero and prints seed + minimized fault plan).
+chaos-short:
+	$(GO) run -race ./cmd/rrfdsim -chaos -n 6 -f 2 -k 3 -runs 25 -drop 0.3 -seed 7
+	$(GO) run -race ./cmd/rrfdsim -chaos -n 5 -f 1 -k 2 -runs 15 -seed 21 \
+		-drop 0.3 -dup 0.3 -delay 0.4 -omit 0.4 -partition 0.5 -crashes 1
+
+# The larger sweep: every fault class, more seeds, more runs.
+chaos:
+	$(GO) run ./cmd/rrfdsim -chaos -n 6 -f 2 -k 3 -runs 500 -drop 0.3 -seed 7
+	$(GO) run ./cmd/rrfdsim -chaos -n 6 -f 2 -k 3 -runs 300 -seed 21 \
+		-drop 0.3 -dup 0.3 -delay 0.4 -omit 0.4 -partition 0.5 -crashes 2
+	$(GO) run ./cmd/rrfdsim -chaos -n 8 -f 3 -k 4 -runs 200 -seed 5 \
+		-drop 0.4 -delay 0.4 -partition 0.4 -crashes 3
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem $(BENCH_PKGS) \

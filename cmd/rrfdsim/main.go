@@ -8,6 +8,14 @@
 // -events FILE streams the execution as JSONL structured events, and
 // -pprof ADDR serves net/http/pprof for live profiling.
 //
+// Robustness: -chaos switches to the randomized fault-injection campaign —
+// N seeded executions of async k-set agreement over reliable links on a
+// lossy substrate, each run under a random fault plan (drop, duplicate,
+// delay, send-omission, healing partitions, crashes), each checked against
+// validity, k-agreement and the eq. (3) trace predicate. On a violation it
+// prints the scheduler seed, the fault plan and a delta-debugged minimal
+// plan, and exits non-zero.
+//
 // Usage examples:
 //
 //	go run ./cmd/rrfdsim -system kset -k 2 -n 8 -alg kset
@@ -15,6 +23,8 @@
 //	go run ./cmd/rrfdsim -system crash -n 8 -f 3 -alg floodmin
 //	go run ./cmd/rrfdsim -system s -n 6 -alg coordinator -trace
 //	go run ./cmd/rrfdsim -system snapshot -n 6 -f 2 -alg none -rounds 4
+//	go run ./cmd/rrfdsim -chaos -n 6 -f 2 -k 3 -runs 200 -drop 0.3 -seed 7
+//	go run ./cmd/rrfdsim -chaos -runs 50 -drop 0.5 -partition 0.5 -crashes 2 -metrics
 package main
 
 import (
@@ -41,6 +51,19 @@ type config struct {
 	outFile     string
 	metrics     bool
 	eventsFile  string
+
+	// chaos-mode flags
+	chaos     bool
+	runs      int
+	drop      float64
+	dup       float64
+	delay     float64
+	delaymax  int
+	omit      float64
+	partition float64
+	crashes   int
+	watchdog  int
+	bug       bool
 }
 
 func main() {
@@ -57,6 +80,17 @@ func main() {
 	flag.StringVar(&cfg.outFile, "o", "", "write the execution trace as JSON to this file")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print a JSON metrics snapshot after the run")
 	flag.StringVar(&cfg.eventsFile, "events", "", "stream structured JSONL events to this file")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "run the randomized fault-injection campaign instead of a single execution")
+	flag.IntVar(&cfg.runs, "runs", 0, "chaos: number of randomized executions (0 = 100)")
+	flag.Float64Var(&cfg.drop, "drop", 0, "chaos: per-message drop-rate bound (0 with all other rates 0 = 0.3)")
+	flag.Float64Var(&cfg.dup, "dup", 0, "chaos: per-message duplication-rate bound")
+	flag.Float64Var(&cfg.delay, "delay", 0, "chaos: per-message delay-rate bound")
+	flag.IntVar(&cfg.delaymax, "delaymax", 0, "chaos: max injected delay in steps (0 = 16)")
+	flag.Float64Var(&cfg.omit, "omit", 0, "chaos: send-omission rate bound for up to f faulty senders")
+	flag.Float64Var(&cfg.partition, "partition", 0, "chaos: per-run probability of a healing partition")
+	flag.IntVar(&cfg.crashes, "crashes", 0, "chaos: max crash failures per run (clamped to f)")
+	flag.IntVar(&cfg.watchdog, "watchdog", 0, "chaos: round watchdog in steps (0 = 1200)")
+	flag.BoolVar(&cfg.bug, "bug", false, "chaos: plant the sub-quorum decision bug (demo that the harness catches it)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -78,6 +112,9 @@ func main() {
 func run(cfg config, w io.Writer) error {
 	if err := validate(cfg); err != nil {
 		return err
+	}
+	if cfg.chaos {
+		return runChaos(cfg, w)
 	}
 
 	var (
@@ -231,6 +268,66 @@ func run(cfg config, w io.Writer) error {
 	return finish(res.Trace)
 }
 
+// runChaos executes the randomized fault-injection campaign, streaming the
+// per-violation reports and the final summary to w. A campaign with safety
+// violations is an error, so CI fails loudly.
+func runChaos(cfg config, w io.Writer) error {
+	var metrics *rrfd.Metrics
+	var events *rrfd.EventLog
+	var eventsBuf *bufio.Writer
+	if cfg.metrics {
+		metrics = rrfd.NewMetrics()
+	}
+	if cfg.eventsFile != "" {
+		file, err := os.Create(cfg.eventsFile)
+		if err != nil {
+			return fmt.Errorf("create events file: %w", err)
+		}
+		defer file.Close()
+		eventsBuf = bufio.NewWriter(file)
+		events = rrfd.NewEventLog(eventsBuf)
+	}
+
+	sum := rrfd.ChaosRun(rrfd.ChaosConfig{
+		N: cfg.n, F: cfg.f, K: cfg.k,
+		Rounds:        cfg.rounds,
+		Runs:          cfg.runs,
+		Seed:          cfg.seed,
+		DropRate:      cfg.drop,
+		DupRate:       cfg.dup,
+		DelayRate:     cfg.delay,
+		MaxDelay:      cfg.delaymax,
+		OmitRate:      cfg.omit,
+		PartitionRate: cfg.partition,
+		MaxCrashes:    cfg.crashes,
+		WatchdogSteps: cfg.watchdog,
+		QuorumBug:     cfg.bug,
+		Observer:      rrfd.MultiObserver(metrics, events),
+		Out:           w,
+	})
+
+	if events != nil {
+		if err := eventsBuf.Flush(); err != nil {
+			return fmt.Errorf("flush events: %w", err)
+		}
+		if err := events.Err(); err != nil {
+			return fmt.Errorf("write events: %w", err)
+		}
+		fmt.Fprintf(w, "%d events written to %s\n", events.Lines(), cfg.eventsFile)
+	}
+	if metrics != nil {
+		b, err := metrics.Snapshot().JSON()
+		if err != nil {
+			return fmt.Errorf("encode metrics: %w", err)
+		}
+		fmt.Fprintf(w, "metrics:\n%s\n", b)
+	}
+	if !sum.Ok() {
+		return fmt.Errorf("chaos: %d safety violation(s) in %d runs", len(sum.Violations), sum.Runs)
+	}
+	return nil
+}
+
 // validate rejects flag combinations that would silently do nothing — in
 // particular -o (and -trace) with trace recording disabled.
 func validate(cfg config) error {
@@ -242,6 +339,9 @@ func validate(cfg config) error {
 	}
 	if cfg.n <= 0 {
 		return fmt.Errorf("invalid process count %d", cfg.n)
+	}
+	if cfg.chaos && (cfg.dumpTrace || cfg.outFile != "") {
+		return fmt.Errorf("-chaos runs many executions and records no single trace: drop -trace/-o")
 	}
 	return nil
 }

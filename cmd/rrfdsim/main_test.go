@@ -169,3 +169,73 @@ func TestRunCollectOnly(t *testing.T) {
 		t.Fatalf("output:\n%s", buf.String())
 	}
 }
+
+func TestRunChaosClean(t *testing.T) {
+	cfg := config{n: 6, f: 2, k: 3, seed: 7, chaos: true, runs: 10, drop: 0.3}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("clean campaign errored: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 violations") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunChaosBugFailsLoudly(t *testing.T) {
+	cfg := config{n: 6, f: 2, k: 3, seed: 13, chaos: true, runs: 40,
+		drop: 1.0, omit: 0.8, partition: 0.6, watchdog: 300, bug: true}
+	var out bytes.Buffer
+	err := run(cfg, &out)
+	if err == nil {
+		t.Fatalf("planted bug went undetected:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "safety violation") {
+		t.Fatalf("err = %v, want a safety-violation error", err)
+	}
+	for _, want := range []string{"replay: sched-seed=", "minimized:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunChaosMetricsAndEvents(t *testing.T) {
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "chaos.jsonl")
+	cfg := config{n: 6, f: 2, k: 3, seed: 7, chaos: true, runs: 5, drop: 0.3,
+		metrics: true, eventsFile: eventsPath}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"faults"`) || !strings.Contains(out.String(), `"retransmissions"`) {
+		t.Fatalf("metrics lack fault counters:\n%s", out.String())
+	}
+	data, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("faultnet.drop")) || !bytes.Contains(data, []byte("rlink.retransmit")) {
+		t.Fatal("events file lacks fault/link events")
+	}
+	// JSONL: every line decodes.
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var v map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+	}
+}
+
+func TestValidateRejectsChaosWithTrace(t *testing.T) {
+	cfg := config{n: 6, chaos: true, dumpTrace: true}
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -chaos with -trace")
+	}
+	cfg = config{n: 6, chaos: true, outFile: "x.json"}
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -chaos with -o")
+	}
+}

@@ -56,6 +56,7 @@ func (r *Result) MaxDecisionRound() int {
 
 type engineOptions struct {
 	maxRounds  int
+	maxWall    time.Duration
 	trace      bool
 	stopOnce   bool
 	extraRound int
@@ -75,6 +76,36 @@ func WithMaxRounds(n int) Option {
 // WithoutTrace disables trace recording (useful in benchmarks).
 func WithoutTrace() Option {
 	return func(o *engineOptions) { o.trace = false }
+}
+
+// WithMaxWallTime bounds the execution's wall-clock duration: when a round
+// boundary finds the budget exhausted, Run stops and returns a
+// *TimeoutError carrying the partial result's trace, rather than spinning
+// until WithMaxRounds. The budget is checked between rounds only — a single
+// Emit or Deliver call that never returns cannot be interrupted. The clock
+// is time.Now unless WithClock overrides it.
+func WithMaxWallTime(d time.Duration) Option {
+	return func(o *engineOptions) { o.maxWall = d }
+}
+
+// TimeoutError reports a WithMaxWallTime budget exhausted mid-execution,
+// with the partial trace recorded up to the point of interruption.
+type TimeoutError struct {
+	// Limit is the configured budget; Elapsed what the execution had
+	// consumed when the round boundary noticed.
+	Limit   time.Duration
+	Elapsed time.Duration
+
+	// Rounds is how many rounds completed before the interruption.
+	Rounds int
+
+	// Trace is the partial execution trace (nil under WithoutTrace).
+	Trace *Trace
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("core: wall-time budget %v exhausted after %v (%d rounds completed)",
+		e.Limit, e.Elapsed, e.Rounds)
 }
 
 // WithRunToRound keeps the engine running for extra rounds after every live
@@ -109,10 +140,10 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 		ob = DefaultObserver()
 	}
 	now := o.clock
+	if now == nil {
+		now = time.Now
+	}
 	if ob != nil {
-		if now == nil {
-			now = time.Now
-		}
 		ob.RunStart(n)
 		defer func() {
 			rounds, decided := 0, 0
@@ -137,9 +168,19 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 		res.Trace = NewTrace(n)
 	}
 
+	var wallStart time.Time
+	if o.maxWall > 0 {
+		wallStart = now()
+	}
+
 	active := FullSet(n)
 	full := FullSet(n)
 	for r := 1; r <= o.maxRounds; r++ {
+		if o.maxWall > 0 {
+			if elapsed := now().Sub(wallStart); elapsed > o.maxWall {
+				return res, &TimeoutError{Limit: o.maxWall, Elapsed: elapsed, Rounds: res.Rounds, Trace: res.Trace}
+			}
+		}
 		var phaseStart time.Time
 		if ob != nil {
 			ob.RoundStart(r, active.Count())

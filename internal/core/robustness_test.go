@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// recordingAlg never decides and records the suspect set handed to it each
+// round.
+type recordingAlg struct {
+	sus *[]Set
+}
+
+func (a recordingAlg) Emit(r int) Message { return nil }
+
+func (a recordingAlg) Deliver(r int, msgs map[PID]Message, suspects Set) (Value, bool) {
+	*a.sus = append(*a.sus, suspects)
+	return nil, false
+}
+
+// TestTraceOracleReplaysSuspicionRetraction replays a trace in which p0
+// suspects p2 in round 1 and retracts the suspicion in round 2 — the
+// asynchronous-model behaviour (eq. (3)) that synchronous detectors forbid.
+// The replay must deliver p2's message again after the retraction.
+func TestTraceOracleReplaysSuspicionRetraction(t *testing.T) {
+	n := 3
+	tr := NewTrace(n)
+	r1 := RoundRecord{R: 1, Active: FullSet(n), Crashed: NewSet(n),
+		Suspects: []Set{SetOf(n, 2), NewSet(n), NewSet(n)},
+		Deliver:  []Set{SetOf(n, 0, 1), FullSet(n), FullSet(n)}}
+	r2 := RoundRecord{R: 2, Active: FullSet(n), Crashed: NewSet(n),
+		Suspects: []Set{NewSet(n), NewSet(n), NewSet(n)},
+		Deliver:  []Set{FullSet(n), FullSet(n), FullSet(n)}}
+	tr.Append(r1)
+	tr.Append(r2)
+
+	var seen []Set
+	_, err := Run(n, inputsOf(0, 1, 2), func(me PID, n int, input Value) Algorithm {
+		if me == 0 {
+			return recordingAlg{sus: &seen}
+		}
+		return nopAlgorithm{}
+	}, TraceOracle(tr), WithMaxRounds(2))
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds (nothing decides)", err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("p0 observed %d rounds, want 2", len(seen))
+	}
+	if !seen[0].Has(2) {
+		t.Fatalf("round 1: p0's suspects = %s, want p2 suspected", seen[0])
+	}
+	if seen[1].Has(2) {
+		t.Fatalf("round 2: p0's suspects = %s, want the suspicion retracted", seen[1])
+	}
+
+	// Re-collecting the replayed adversary must reproduce the suspect sets.
+	got, err := CollectTrace(n, 2, TraceOracle(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 2; r++ {
+		for i := 0; i < n; i++ {
+			if !got.Round(r).Suspects[i].Equal(tr.Round(r).Suspects[i]) {
+				t.Fatalf("round %d p%d: replayed D = %s, original %s",
+					r, i, got.Round(r).Suspects[i], tr.Round(r).Suspects[i])
+			}
+		}
+	}
+}
+
+// TestCollectTraceZeroRounds asks for a zero-round collection: legal, and
+// yields an empty (but non-nil) trace with no error.
+func TestCollectTraceZeroRounds(t *testing.T) {
+	tr, err := CollectTrace(3, 0, benignOracle(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || tr.Len() != 0 {
+		t.Fatalf("trace = %v, want empty non-nil", tr)
+	}
+	if tr.N != 3 {
+		t.Fatalf("trace universe = %d, want 3", tr.N)
+	}
+}
+
+// TestCollectTraceEmptyUniverse rejects n = 0 loudly instead of recording
+// a trace over no processes.
+func TestCollectTraceEmptyUniverse(t *testing.T) {
+	if _, err := CollectTrace(0, 3, benignOracle(0)); err == nil {
+		t.Fatal("n = 0 accepted")
+	}
+}
+
+// TestCollectTraceSingleProcess: a universe of one is fine (it may suspect
+// nobody, since D = S is forbidden).
+func TestCollectTraceSingleProcess(t *testing.T) {
+	tr, err := CollectTrace(1, 2, benignOracle(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("rounds = %d, want 2", tr.Len())
+	}
+}
+
+// TestWithMaxWallTime drives the engine with a fake clock that advances one
+// second per reading: the wall budget must interrupt the execution at a
+// round boundary and hand back the partial trace.
+func TestWithMaxWallTime(t *testing.T) {
+	base := time.Unix(0, 0)
+	tick := 0
+	clock := func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	}
+	_, err := Run(3, inputsOf(0, 1, 2), func(me PID, n int, input Value) Algorithm {
+		return nopAlgorithm{} // never decides: only the wall budget can stop this
+	}, benignOracle(3), WithMaxWallTime(3*time.Second), WithClock(clock))
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T %v, want *TimeoutError", err, err)
+	}
+	if te.Limit != 3*time.Second {
+		t.Fatalf("limit = %v", te.Limit)
+	}
+	if te.Elapsed <= te.Limit {
+		t.Fatalf("elapsed %v not beyond limit %v", te.Elapsed, te.Limit)
+	}
+	if te.Rounds == 0 {
+		t.Fatal("no round completed before the interruption")
+	}
+	if te.Trace == nil || te.Trace.Len() != te.Rounds {
+		t.Fatalf("partial trace has %v rounds, reported %d", te.Trace, te.Rounds)
+	}
+}
+
+// TestWithMaxWallTimeUntriggered: a generous budget must not perturb a
+// normal run.
+func TestWithMaxWallTimeUntriggered(t *testing.T) {
+	res, err := Run(3, inputsOf(0, 1, 2), newEchoFactory(2), benignOracle(3),
+		WithMaxWallTime(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", res.Rounds)
+	}
+}

@@ -3,18 +3,32 @@
 // shared memory by message passing when 2f < n).
 //
 // Each process runs as a goroutine and interacts with the network only
-// through Node.Send / Node.Broadcast / Node.Recv. A cooperative scheduler
-// serializes the steps and plays the asynchrony adversary: it chooses which
-// process steps next and, on a receive, which in-flight message (per-link
-// FIFO) is delivered. Crashes stop a process after a configured number of
-// steps; its in-flight messages remain deliverable, as in the standard
-// crash model.
+// through Node.Send / Node.Broadcast / Node.Recv / Node.RecvTimeout. A
+// cooperative scheduler serializes the steps and plays the asynchrony
+// adversary: it chooses which process steps next and, on a receive, which
+// in-flight message (per-link FIFO) is delivered. Crashes stop a process
+// after a configured number of steps; its in-flight messages remain
+// deliverable, as in the standard crash model.
+//
+// Link-level faults are injected through Config.Faults: a FaultInjector may
+// drop, duplicate, or delay any sent message (the elementary behaviours from
+// which the Heard-Of line of work derives round predicates). Delayed copies
+// break per-link FIFO by design — that is the reordering fault. The loopback
+// link (a process sending to itself) is never subjected to injection.
+//
+// Time is the scheduler step counter. When every live process is blocked but
+// a delayed message or a receive deadline is pending, the scheduler
+// fast-forwards the step clock to the next such event instead of declaring a
+// deadlock; a deadlock is reported (as a *DeadlockError carrying the blocked
+// processes and the per-link in-flight message counts) only when no future
+// event can unblock anyone.
 package msgnet
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -24,13 +38,76 @@ import (
 // crashed the calling process. Bodies must propagate it and return.
 var ErrCrashed = errors.New("msgnet: process crashed")
 
-// ErrMaxSteps is returned by Run when the step budget is exhausted.
+// ErrMaxSteps is the sentinel matched (via errors.Is) by the *StepLimitError
+// Run returns when the step budget is exhausted.
 var ErrMaxSteps = errors.New("msgnet: step budget exhausted")
 
-// ErrDeadlock is returned by Run when every live process is blocked on an
-// empty mailbox — e.g. when more than f processes crash under an
-// f-resilient round protocol.
+// ErrDeadlock is the sentinel matched (via errors.Is) by the *DeadlockError
+// Run returns when every live process is blocked on an empty mailbox — e.g.
+// when more than f processes crash under an f-resilient round protocol.
 var ErrDeadlock = errors.New("msgnet: all live processes blocked on receive")
+
+// LinkLoad counts undelivered in-flight messages on one directed link.
+type LinkLoad struct {
+	From, To core.PID
+	Queued   int
+}
+
+// DeadlockError reports a deadlocked execution with enough context to
+// diagnose it: which processes were blocked on an empty mailbox and where
+// the undelivered messages were queued (necessarily at processes that had
+// already returned or crashed — a blocked receiver's mailbox is empty by
+// definition). It matches ErrDeadlock under errors.Is.
+type DeadlockError struct {
+	// Step is the scheduler step at which the deadlock was detected.
+	Step int
+
+	// Blocked lists the processes waiting on an empty mailbox, ascending.
+	Blocked []core.PID
+
+	// InFlight lists the non-empty directed link queues, sorted by
+	// (From, To). Empty when no message was left undelivered.
+	InFlight []LinkLoad
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "msgnet: deadlock at step %d: processes %v blocked on receive", e.Step, e.Blocked)
+	if len(e.InFlight) == 0 {
+		b.WriteString("; no messages in flight")
+	} else {
+		b.WriteString("; in-flight:")
+		for _, l := range e.InFlight {
+			fmt.Fprintf(&b, " p%d→p%d:%d", l.From, l.To, l.Queued)
+		}
+	}
+	return b.String()
+}
+
+// Is reports that a DeadlockError is an ErrDeadlock, so existing
+// errors.Is(err, ErrDeadlock) checks keep working.
+func (e *DeadlockError) Is(target error) bool { return target == ErrDeadlock }
+
+// StepLimitError reports an execution that exhausted its step budget, with
+// the processes that still had operations pending. It matches ErrMaxSteps
+// under errors.Is.
+type StepLimitError struct {
+	// Steps is the configured budget that was exceeded.
+	Steps int
+
+	// Pending lists the processes with an operation outstanding when the
+	// budget ran out, ascending.
+	Pending []core.PID
+}
+
+// Error implements error.
+func (e *StepLimitError) Error() string {
+	return fmt.Sprintf("msgnet: step budget %d exhausted with processes %v still pending", e.Steps, e.Pending)
+}
+
+// Is reports that a StepLimitError is an ErrMaxSteps.
+func (e *StepLimitError) Is(target error) bool { return target == ErrMaxSteps }
 
 // Envelope is a delivered message.
 type Envelope struct {
@@ -56,6 +133,28 @@ func Seeded(seed int64) Chooser {
 	}
 }
 
+// FaultAction describes what the network does with one sent message: one
+// copy is queued per entry of Deliveries, each held back that many scheduler
+// steps (0 or less means immediate). An empty Deliveries drops the message.
+type FaultAction struct {
+	Deliveries []int
+
+	// Reason tags a drop for observability ("drop", "omission",
+	// "partition"); ignored when the message is delivered.
+	Reason string
+}
+
+// DeliverNow is the fault-free action: one immediate copy.
+func DeliverNow() FaultAction { return FaultAction{Deliveries: []int{0}} }
+
+// FaultInjector decides the fate of each sent message. The scheduler calls
+// OnSend exactly once per send operation, in execution order, and never for
+// the loopback link (from == to). Implementations must be deterministic for
+// a fixed seed so executions replay exactly.
+type FaultInjector interface {
+	OnSend(step int, from, to core.PID) FaultAction
+}
+
 // Body is the protocol code one process runs.
 type Body func(nd *Node) (core.Value, error)
 
@@ -71,11 +170,17 @@ type Config struct {
 	// MaxSteps bounds total scheduled operations; 0 means 1<<20.
 	MaxSteps int
 
+	// Faults, when non-nil, injects link-level faults (drop, duplicate,
+	// delay) into every non-loopback send.
+	Faults FaultInjector
+
 	// Observer, when non-nil, receives one obs event per scheduled
-	// operation ("msgnet.send", "msgnet.recv"), per crash
-	// ("msgnet.crash"), per abnormal stop ("msgnet.deadlock",
-	// "msgnet.maxsteps") and a final "msgnet.done". Substrate events use
-	// round -1: the asynchronous network has steps, not rounds.
+	// operation ("msgnet.send", "msgnet.recv", "msgnet.timeout"), per
+	// injected fault ("faultnet.drop", "faultnet.dup", "faultnet.delay"),
+	// per virtual-time jump ("msgnet.advance"), per crash ("msgnet.crash"),
+	// per abnormal stop ("msgnet.deadlock", "msgnet.maxsteps") and a final
+	// "msgnet.done". Substrate events use round -1: the asynchronous
+	// network has steps, not rounds.
 	Observer obs.Observer
 }
 
@@ -102,7 +207,8 @@ type Node struct {
 
 // Clock returns the global scheduler step at which the node's most recent
 // operation executed — a logical timestamp usable for linearizability
-// checking. It is only meaningful between the node's own operations.
+// checking and for step-driven timeouts. It is only meaningful between the
+// node's own operations.
 func (nd *Node) Clock() int { return nd.clock }
 
 type opKind int
@@ -110,19 +216,22 @@ type opKind int
 const (
 	opSend opKind = iota + 1
 	opRecv
+	opRecvTimeout
 )
 
 type request struct {
-	pid   core.PID
-	kind  opKind
-	env   Envelope
-	reply chan result
+	pid      core.PID
+	kind     opKind
+	env      Envelope
+	deadline int // absolute step bound for opRecvTimeout
+	reply    chan result
 }
 
 type result struct {
-	env  Envelope
-	step int
-	err  error
+	env      Envelope
+	step     int
+	timedOut bool
+	err      error
 }
 
 type procEvent struct {
@@ -133,7 +242,8 @@ type procEvent struct {
 }
 
 // Send queues a message to process to. Delivery order is per-link FIFO but
-// cross-link order is up to the adversary.
+// cross-link order is up to the adversary (and injected delays may reorder
+// even a single link).
 func (nd *Node) Send(to core.PID, payload core.Value) error {
 	if to < 0 || int(to) >= nd.N {
 		return fmt.Errorf("msgnet: send to invalid process %d", to)
@@ -163,6 +273,26 @@ func (nd *Node) Recv() (Envelope, error) {
 		return Envelope{}, err
 	}
 	return res.env, nil
+}
+
+// RecvTimeout is Recv with a deadline: it returns a message and true, or —
+// once the scheduler's step clock reaches the absolute step deadline with
+// the caller's mailbox still empty — false. A successful delivery always
+// wins over an expired deadline. The timeout itself consumes one scheduled
+// operation, so the caller's Clock advances.
+//
+// Deadlines are what let retry/timeout protocols run on the asynchronous
+// substrate without wall time: time is the step counter, and the scheduler
+// fast-forwards it when every process is waiting.
+func (nd *Node) RecvTimeout(deadline int) (Envelope, bool, error) {
+	res, err := nd.do(&request{pid: nd.Me, kind: opRecvTimeout, deadline: deadline})
+	if err != nil {
+		return Envelope{}, false, err
+	}
+	if res.timedOut {
+		return Envelope{}, false, nil
+	}
+	return res.env, true, nil
 }
 
 func (nd *Node) do(req *request) (result, error) {
@@ -210,6 +340,12 @@ func (m *mailbox) pop(from core.PID) core.Value {
 	return v
 }
 
+// delayedMsg is an in-flight copy held back by an injected delay.
+type delayedMsg struct {
+	release int // step at which the copy joins the receiver's mailbox
+	env     Envelope
+}
+
 // Run executes body at every process under the configured adversary and
 // returns once every body has returned. Goroutines never leak: on crash,
 // deadlock, or step overflow every blocked operation is failed with
@@ -226,6 +362,7 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 	if maxSteps == 0 {
 		maxSteps = 1 << 20
 	}
+	ob := cfg.Observer
 
 	events := make(chan procEvent)
 	for i := 0; i < n; i++ {
@@ -242,6 +379,7 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 		Crashed: core.NewSet(n),
 	}
 	boxes := make([]mailbox, n)
+	var delayed []delayedMsg
 	pending := make(map[core.PID]*request, n)
 	opsDone := make(map[core.PID]int, n)
 	finished := 0
@@ -268,20 +406,62 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 			break
 		}
 
-		// Runnable: pending senders, plus pending receivers with mail.
+		// Release delayed copies whose time has come, in (release step,
+		// send order) — the stable sort preserves insertion order among
+		// equal release steps.
+		if len(delayed) > 0 {
+			sort.SliceStable(delayed, func(i, j int) bool { return delayed[i].release < delayed[j].release })
+			k := 0
+			for k < len(delayed) && delayed[k].release <= step {
+				boxes[delayed[k].env.To].push(delayed[k].env.From, delayed[k].env.Payload)
+				k++
+			}
+			delayed = delayed[k:]
+		}
+
+		// Runnable: pending senders, pending receivers with mail, and
+		// timed receivers whose deadline has passed.
 		runnable := make([]core.PID, 0, len(pending))
 		for pid, req := range pending {
 			if abort != nil {
 				runnable = append(runnable, pid)
 				continue
 			}
-			if req.kind == opSend || len(boxes[pid].senders()) > 0 {
+			switch {
+			case req.kind == opSend:
+				runnable = append(runnable, pid)
+			case len(boxes[pid].senders()) > 0:
+				runnable = append(runnable, pid)
+			case req.kind == opRecvTimeout && step >= req.deadline:
 				runnable = append(runnable, pid)
 			}
 		}
 		sort.Slice(runnable, func(i, j int) bool { return runnable[i] < runnable[j] })
 		if len(runnable) == 0 {
-			abort = ErrDeadlock
+			// Nobody can act now; fast-forward virtual time to the next
+			// delayed release or receive deadline if one exists.
+			next := -1
+			for _, dm := range delayed {
+				if next < 0 || dm.release < next {
+					next = dm.release
+				}
+			}
+			for _, req := range pending {
+				if req.kind == opRecvTimeout && (next < 0 || req.deadline < next) {
+					next = req.deadline
+				}
+			}
+			if next > step {
+				if ob != nil {
+					ob.Event("msgnet.advance", -1, -1, map[string]any{"from": step, "to": next})
+				}
+				step = next
+				if step > maxSteps {
+					abort = &StepLimitError{Steps: maxSteps, Pending: pendingPIDs(pending)}
+				}
+				continue
+			}
+			abort = newDeadlockError(step, pending, boxes)
 			continue
 		}
 
@@ -303,20 +483,62 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 		case abort != nil, hasLimit && opsDone[pick] >= limit:
 			if abort == nil {
 				out.Crashed.Add(pick)
-				if ob := cfg.Observer; ob != nil {
+				if ob != nil {
 					ob.Event("msgnet.crash", -1, int(pick), map[string]any{"ops": opsDone[pick], "step": step})
 				}
 			}
 			req.reply <- result{err: ErrCrashed}
 		case req.kind == opSend:
-			boxes[req.env.To].push(req.env.From, req.env.Payload)
+			act := DeliverNow()
+			if cfg.Faults != nil && req.env.From != req.env.To {
+				act = cfg.Faults.OnSend(step, req.env.From, req.env.To)
+			}
 			opsDone[pick]++
-			if ob := cfg.Observer; ob != nil {
+			if ob != nil {
 				ob.Event("msgnet.send", -1, int(pick), map[string]any{"to": int(req.env.To), "step": step})
 			}
+			if len(act.Deliveries) == 0 {
+				if ob != nil {
+					reason := act.Reason
+					if reason == "" {
+						reason = "drop"
+					}
+					ob.Event("faultnet.drop", -1, int(pick), map[string]any{"to": int(req.env.To), "reason": reason, "step": step})
+				}
+			} else {
+				maxDelay := 0
+				for _, d := range act.Deliveries {
+					if d <= 0 {
+						boxes[req.env.To].push(req.env.From, req.env.Payload)
+					} else {
+						delayed = append(delayed, delayedMsg{release: step + d, env: req.env})
+						if d > maxDelay {
+							maxDelay = d
+						}
+					}
+				}
+				if ob != nil {
+					if len(act.Deliveries) > 1 {
+						ob.Event("faultnet.dup", -1, int(pick), map[string]any{"to": int(req.env.To), "copies": len(act.Deliveries), "step": step})
+					}
+					if maxDelay > 0 {
+						ob.Event("faultnet.delay", -1, int(pick), map[string]any{"to": int(req.env.To), "delay": maxDelay, "step": step})
+					}
+				}
+			}
 			req.reply <- result{step: step}
-		default: // opRecv with mail available
+		default: // opRecv / opRecvTimeout
 			senders := boxes[pick].senders()
+			if len(senders) == 0 {
+				// Only an expired opRecvTimeout is scheduled with an
+				// empty mailbox: the deadline fires.
+				opsDone[pick]++
+				if ob != nil {
+					ob.Event("msgnet.timeout", -1, int(pick), map[string]any{"deadline": req.deadline, "step": step})
+				}
+				req.reply <- result{step: step, timedOut: true}
+				break
+			}
 			sIdx := chooser(step, senders)
 			if sIdx < 0 || sIdx >= len(senders) {
 				return nil, fmt.Errorf("msgnet: chooser returned %d for %d senders", sIdx, len(senders))
@@ -324,7 +546,7 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 			from := senders[sIdx]
 			payload := boxes[pick].pop(from)
 			opsDone[pick]++
-			if ob := cfg.Observer; ob != nil {
+			if ob != nil {
 				ob.Event("msgnet.recv", -1, int(pick), map[string]any{"from": int(from), "step": step})
 			}
 			req.reply <- result{env: Envelope{From: from, To: pick, Payload: payload}, step: step}
@@ -332,15 +554,15 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 		computing++
 		step++
 		if step > maxSteps && abort == nil {
-			abort = ErrMaxSteps
+			abort = &StepLimitError{Steps: maxSteps, Pending: pendingPIDs(pending)}
 		}
 	}
 	out.Steps = step
-	if ob := cfg.Observer; ob != nil {
-		switch abort {
-		case ErrDeadlock:
+	if ob != nil {
+		switch {
+		case errors.Is(abort, ErrDeadlock):
 			ob.Event("msgnet.deadlock", -1, -1, map[string]any{"step": step})
-		case ErrMaxSteps:
+		case errors.Is(abort, ErrMaxSteps):
 			ob.Event("msgnet.maxsteps", -1, -1, map[string]any{"step": step})
 		}
 		ob.Event("msgnet.done", -1, -1, map[string]any{"steps": step, "crashed": out.Crashed.Count()})
@@ -349,4 +571,34 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 		return out, abort
 	}
 	return out, nil
+}
+
+// pendingPIDs lists the processes with an outstanding request, ascending.
+func pendingPIDs(pending map[core.PID]*request) []core.PID {
+	out := make([]core.PID, 0, len(pending))
+	for pid := range pending {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// newDeadlockError snapshots the blocked processes and the per-link
+// in-flight counts at the moment of deadlock.
+func newDeadlockError(step int, pending map[core.PID]*request, boxes []mailbox) *DeadlockError {
+	e := &DeadlockError{Step: step, Blocked: pendingPIDs(pending)}
+	for to := range boxes {
+		for from, q := range boxes[to].queues {
+			if len(q) > 0 {
+				e.InFlight = append(e.InFlight, LinkLoad{From: from, To: core.PID(to), Queued: len(q)})
+			}
+		}
+	}
+	sort.Slice(e.InFlight, func(i, j int) bool {
+		if e.InFlight[i].From != e.InFlight[j].From {
+			return e.InFlight[i].From < e.InFlight[j].From
+		}
+		return e.InFlight[i].To < e.InFlight[j].To
+	})
+	return e
 }

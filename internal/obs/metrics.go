@@ -28,7 +28,38 @@ type Metrics struct {
 	phaseNS            map[string]int64
 	phaseCount         map[string]int64
 	events             map[string]int64
+	faults             FaultSnapshot
 }
+
+// FaultSnapshot aggregates injected-fault and link-recovery counters,
+// derived from the faultnet.* and rlink.* event streams.
+type FaultSnapshot struct {
+	// Drops, Omissions and PartitionDrops split lost messages by cause
+	// (the "reason" field of faultnet.drop events).
+	Drops          int64 `json:"drops"`
+	Omissions      int64 `json:"omissions"`
+	PartitionDrops int64 `json:"partition_drops"`
+
+	// PartitionSpans counts declared partition windows.
+	PartitionSpans int64 `json:"partition_spans"`
+
+	// Duplicates and Delays count injected extra copies and delayed
+	// deliveries.
+	Duplicates int64 `json:"duplicates"`
+	Delays     int64 `json:"delays"`
+
+	// Retransmissions, DupFramesReceived and GiveUps count the reliable
+	// link's recovery work.
+	Retransmissions   int64 `json:"retransmissions"`
+	DupFramesReceived int64 `json:"dup_frames_received"`
+	GiveUps           int64 `json:"give_ups"`
+
+	// WatchdogStalls counts rounds abandoned to suspicion by the round
+	// watchdog.
+	WatchdogStalls int64 `json:"watchdog_stalls"`
+}
+
+func (f FaultSnapshot) empty() bool { return f == FaultSnapshot{} }
 
 // NewMetrics returns an empty Metrics.
 func NewMetrics() *Metrics {
@@ -46,6 +77,7 @@ func (m *Metrics) reset() {
 	m.phaseNS = make(map[string]int64)
 	m.phaseCount = make(map[string]int64)
 	m.events = make(map[string]int64)
+	m.faults = FaultSnapshot{}
 }
 
 // Reset clears every counter and histogram.
@@ -123,10 +155,36 @@ func (m *Metrics) Phase(r int, phase string, d time.Duration) {
 	m.mu.Unlock()
 }
 
-// Event implements Observer.
+// Event implements Observer. Fault-injection and link-recovery events
+// additionally feed the FaultSnapshot counters.
 func (m *Metrics) Event(kind string, r, p int, fields map[string]any) {
 	m.mu.Lock()
 	m.events[kind]++
+	switch kind {
+	case "faultnet.drop":
+		switch fields["reason"] {
+		case "omission":
+			m.faults.Omissions++
+		case "partition":
+			m.faults.PartitionDrops++
+		default:
+			m.faults.Drops++
+		}
+	case "faultnet.dup":
+		m.faults.Duplicates++
+	case "faultnet.delay":
+		m.faults.Delays++
+	case "faultnet.partition_span":
+		m.faults.PartitionSpans++
+	case "rlink.retransmit":
+		m.faults.Retransmissions++
+	case "rlink.dup_rx":
+		m.faults.DupFramesReceived++
+	case "rlink.giveup":
+		m.faults.GiveUps++
+	case "rlink.watchdog":
+		m.faults.WatchdogStalls++
+	}
 	m.mu.Unlock()
 }
 
@@ -177,6 +235,10 @@ type Snapshot struct {
 
 	// Events counts protocol-level events by kind.
 	Events map[string]int64 `json:"events,omitempty"`
+
+	// Faults aggregates injected faults and link recovery work; omitted
+	// when no fault or recovery event was observed.
+	Faults *FaultSnapshot `json:"faults,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the current state.
@@ -210,6 +272,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		for k, v := range m.events {
 			s.Events[k] = v
 		}
+	}
+	if !m.faults.empty() {
+		f := m.faults
+		s.Faults = &f
 	}
 	return s
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -124,5 +125,54 @@ func TestMetricsConcurrent(t *testing.T) {
 	}
 	if s.SuspicionsTotal != total || s.Crashes != 2*total || s.Events["k"] != total {
 		t.Fatalf("lost updates: suspicions=%d crashes=%d events=%d", s.SuspicionsTotal, s.Crashes, s.Events["k"])
+	}
+}
+
+// TestMetricsFaultCounters checks that faultnet.* and rlink.* events feed
+// the FaultSnapshot, split by cause, and that fault-free snapshots omit it.
+func TestMetricsFaultCounters(t *testing.T) {
+	m := NewMetrics()
+	if m.Snapshot().Faults != nil {
+		t.Fatal("fault-free snapshot should omit Faults")
+	}
+	m.Event("faultnet.drop", -1, 0, map[string]any{"reason": "drop"})
+	m.Event("faultnet.drop", -1, 0, map[string]any{"reason": "drop"})
+	m.Event("faultnet.drop", -1, 1, map[string]any{"reason": "omission"})
+	m.Event("faultnet.drop", -1, 2, map[string]any{"reason": "partition"})
+	m.Event("faultnet.dup", -1, 0, nil)
+	m.Event("faultnet.delay", -1, 0, nil)
+	m.Event("faultnet.partition_span", -1, -1, nil)
+	m.Event("rlink.retransmit", -1, 0, nil)
+	m.Event("rlink.retransmit", -1, 0, nil)
+	m.Event("rlink.retransmit", -1, 0, nil)
+	m.Event("rlink.dup_rx", -1, 1, nil)
+	m.Event("rlink.giveup", -1, 0, nil)
+	m.Event("rlink.watchdog", -1, 2, nil)
+
+	f := m.Snapshot().Faults
+	if f == nil {
+		t.Fatal("Faults missing from snapshot")
+	}
+	want := FaultSnapshot{
+		Drops: 2, Omissions: 1, PartitionDrops: 1,
+		PartitionSpans: 1, Duplicates: 1, Delays: 1,
+		Retransmissions: 3, DupFramesReceived: 1, GiveUps: 1,
+		WatchdogStalls: 1,
+	}
+	if *f != want {
+		t.Fatalf("faults = %+v, want %+v", *f, want)
+	}
+
+	b, err := m.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"faults"`) || !strings.Contains(string(b), `"retransmissions": 3`) {
+		t.Fatalf("JSON lacks fault counters:\n%s", b)
+	}
+
+	m.Reset()
+	if m.Snapshot().Faults != nil {
+		t.Fatal("Reset did not clear fault counters")
 	}
 }

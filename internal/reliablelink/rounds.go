@@ -1,0 +1,259 @@
+package reliablelink
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/msgnet"
+)
+
+// RoundsConfig tunes a reliable round-protocol execution.
+type RoundsConfig struct {
+	// Net configures the underlying lossy substrate (chooser, crashes,
+	// fault injection, observer, step budget).
+	Net msgnet.Config
+
+	// Link configures each process's reliable endpoint.
+	Link Config
+
+	// WatchdogSteps is how many steps a process waits within one round —
+	// retransmitting all the while — before it gives the round up, records
+	// every still-missing sender as suspected for the round (the D(i,r)
+	// entries) and moves on; 0 means 4096.
+	WatchdogSteps int
+
+	// LingerSteps is how long a process that finished its last round keeps
+	// serving acknowledgements and retransmissions before returning, so
+	// that slower peers can still complete; 0 means 1024.
+	LingerSteps int
+}
+
+func (c RoundsConfig) watchdog() int {
+	if c.WatchdogSteps <= 0 {
+		return 4096
+	}
+	return c.WatchdogSteps
+}
+
+func (c RoundsConfig) linger() int {
+	if c.LingerSteps <= 0 {
+		return 1024
+	}
+	return c.LingerSteps
+}
+
+// Stall records one watchdog firing: process P gave up waiting in Round,
+// still missing the round messages of Missing, at scheduler step Step.
+type Stall struct {
+	P       core.PID
+	Round   int
+	Missing []core.PID
+	Step    int
+}
+
+// String renders the stall for diagnostics.
+func (s Stall) String() string {
+	return fmt.Sprintf("p%d stalled in round %d waiting on %v (step %d)", s.P, s.Round, s.Missing, s.Step)
+}
+
+// RunReport is the structured diagnosis of a reliable-rounds execution —
+// the replacement for opaque deadlock/step-budget sentinels: it says who
+// was blocked, on whom, in which round, and how much recovery work the
+// links did.
+type RunReport struct {
+	// Stalls lists every watchdog firing, ordered by (process, round).
+	Stalls []Stall
+
+	// PerProc holds each process's link statistics.
+	PerProc []Stats
+
+	// Retransmissions, GiveUps and DupFramesReceived aggregate PerProc.
+	Retransmissions   int
+	GiveUps           int
+	DupFramesReceived int
+
+	// Steps is the substrate step count; Crashed the crashed processes.
+	Steps   int
+	Crashed core.Set
+
+	// Errs holds per-process body errors (ErrCrashed for crashed ones).
+	Errs map[core.PID]error
+}
+
+// Stalled reports whether any round stalled anywhere.
+func (r *RunReport) Stalled() bool { return len(r.Stalls) > 0 }
+
+// String renders a multi-line diagnostic summary.
+func (r *RunReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reliablelink: %d steps, %d retransmissions, %d give-ups, %d duplicate frames",
+		r.Steps, r.Retransmissions, r.GiveUps, r.DupFramesReceived)
+	if r.Crashed.Count() > 0 {
+		fmt.Fprintf(&b, ", crashed %s", r.Crashed)
+	}
+	for _, s := range r.Stalls {
+		fmt.Fprintf(&b, "\n  %s", s)
+	}
+	return b.String()
+}
+
+// roundMsg is the reliable round protocol's payload.
+type roundMsg struct {
+	round int
+	value core.Value
+}
+
+type roundRecord struct {
+	dsets []core.Set
+	views []map[core.PID]core.Value
+}
+
+// RunRounds executes the round-based f-resilient asynchronous protocol of
+// §2 item 3 over reliable links on a lossy substrate: in each round a
+// process broadcasts its round message and receives until it holds n−f
+// current-round messages, the link retransmitting lost frames underneath.
+// If the round stalls past the watchdog despite retransmission, the process
+// records every missing sender in D(i,r) and advances — lost messages
+// degrade into suspicions, never into deadlock. Each process lingers after
+// its last round so peers can finish.
+//
+// The trace in the outcome is the induced RRFD trace; when no round
+// stalled it satisfies eq. (3) (|D(i,r)| ≤ f) exactly as the unreliable
+// substrate's protocol does, and predicate checking of the trace is how the
+// chaos harness decides which model the faulty execution still realized.
+// The RunReport is always non-nil, even alongside an error.
+func RunRounds(n, f, rounds int, cfg RoundsConfig, emit msgnet.RoundEmit) (*msgnet.RoundOutcome, *RunReport, error) {
+	if emit == nil {
+		emit = func(me core.PID, r int, _ map[core.PID]core.Value, _ core.Set) core.Value {
+			return fmt.Sprintf("p%d@r%d", me, r)
+		}
+	}
+
+	recs := make([]*roundRecord, n)
+	stalls := make([][]Stall, n)
+	links := make([]*Link, n)
+	out, err := msgnet.Run(n, cfg.Net, func(nd *msgnet.Node) (core.Value, error) {
+		l := New(nd, cfg.Link)
+		links[nd.Me] = l
+		rec := &roundRecord{}
+		recs[nd.Me] = rec
+		// future buffers messages from rounds ahead of ours.
+		future := make(map[int]map[core.PID]core.Value)
+		var prevMsgs map[core.PID]core.Value
+		prevSus := core.NewSet(n)
+		for r := 1; r <= rounds; r++ {
+			v := emit(nd.Me, r, prevMsgs, prevSus)
+			if err := l.Broadcast(roundMsg{round: r, value: v}); err != nil {
+				return nil, err
+			}
+			got := future[r]
+			if got == nil {
+				got = make(map[core.PID]core.Value)
+			}
+			delete(future, r)
+			deadline := nd.Clock() + cfg.watchdog()
+			for len(got) < n-f {
+				from, payload, ok, err := l.Recv(deadline)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					// Watchdog: give the round up and suspect whoever is
+					// still missing.
+					missing := make([]core.PID, 0, n-len(got))
+					for i := 0; i < n; i++ {
+						if _, have := got[core.PID(i)]; !have {
+							missing = append(missing, core.PID(i))
+						}
+					}
+					stalls[nd.Me] = append(stalls[nd.Me], Stall{P: nd.Me, Round: r, Missing: missing, Step: nd.Clock()})
+					l.event("rlink.watchdog", map[string]any{"round": r, "missing": len(missing), "step": nd.Clock()})
+					break
+				}
+				m, isRound := payload.(roundMsg)
+				if !isRound {
+					return nil, fmt.Errorf("reliablelink: foreign payload %T", payload)
+				}
+				switch {
+				case m.round == r:
+					got[from] = m.value
+				case m.round > r: // early: buffer
+					if future[m.round] == nil {
+						future[m.round] = make(map[core.PID]core.Value)
+					}
+					future[m.round][from] = m.value
+				default: // late: discard
+				}
+			}
+			d := core.FullSet(n)
+			for p := range got {
+				d.Remove(p)
+			}
+			rec.dsets = append(rec.dsets, d)
+			rec.views = append(rec.views, got)
+			prevMsgs, prevSus = got, d
+		}
+		return nil, l.Drain(nd.Clock() + cfg.linger())
+	})
+
+	rep := &RunReport{PerProc: make([]Stats, n), Crashed: core.NewSet(n)}
+	if out != nil {
+		rep.Steps = out.Steps
+		rep.Crashed = out.Crashed
+		rep.Errs = out.Errs
+	}
+	for i := 0; i < n; i++ {
+		if links[i] != nil {
+			st := links[i].Stats()
+			rep.PerProc[i] = st
+			rep.Retransmissions += st.Retransmissions
+			rep.GiveUps += st.GiveUps
+			rep.DupFramesReceived += st.DupFramesReceived
+		}
+		rep.Stalls = append(rep.Stalls, stalls[i]...)
+	}
+
+	res := &msgnet.RoundOutcome{
+		Trace: core.NewTrace(n),
+		Views: make(map[core.PID][]map[core.PID]core.Value, n),
+	}
+	if out != nil {
+		res.Crashed = out.Crashed
+		res.Steps = out.Steps
+	}
+	for i := 0; i < n; i++ {
+		if recs[i] == nil {
+			recs[i] = &roundRecord{}
+		}
+		res.Views[core.PID(i)] = recs[i].views
+	}
+	for r := 1; r <= rounds; r++ {
+		rec := core.RoundRecord{
+			R:        r,
+			Suspects: make([]core.Set, n),
+			Deliver:  make([]core.Set, n),
+			Active:   core.NewSet(n),
+			Crashed:  core.NewSet(n),
+		}
+		for i := 0; i < n; i++ {
+			pid := core.PID(i)
+			if len(recs[i].dsets) >= r {
+				rec.Active.Add(pid)
+				rec.Suspects[i] = recs[i].dsets[r-1]
+				rec.Deliver[i] = recs[i].dsets[r-1].Complement()
+			} else {
+				rec.Suspects[i] = core.NewSet(n)
+				rec.Deliver[i] = core.NewSet(n)
+				if res.Crashed.Has(pid) {
+					rec.Crashed.Add(pid)
+				}
+			}
+		}
+		if rec.Active.Empty() {
+			break
+		}
+		res.Trace.Append(rec)
+	}
+	return res, rep, err
+}

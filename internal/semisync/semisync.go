@@ -204,5 +204,30 @@ func Run(n int, cfg Config, factory Factory, inputs []core.Value) (*Outcome, err
 		}
 	}
 	out.StepsTotal = maxSteps
-	return out, fmt.Errorf("semisync: step budget %d exhausted", maxSteps)
+	undecided := make([]core.PID, 0, n)
+	for i := 0; i < n; i++ {
+		p := core.PID(i)
+		if _, done := out.DecidedAtStep[p]; !done && !out.Crashed.Has(p) {
+			undecided = append(undecided, p)
+		}
+	}
+	return out, &StepBudgetError{Budget: maxSteps, Undecided: undecided}
+}
+
+// StepBudgetError reports a Run that exhausted its step budget before every
+// live process halted, naming the live processes still undecided — the
+// diagnosis an opaque sentinel could not carry.
+type StepBudgetError struct {
+	// Budget is the exhausted MaxSteps value.
+	Budget int
+
+	// Undecided lists live processes that had not decided at exhaustion.
+	Undecided []core.PID
+}
+
+func (e *StepBudgetError) Error() string {
+	if len(e.Undecided) == 0 {
+		return fmt.Sprintf("semisync: step budget %d exhausted before all live processes halted", e.Budget)
+	}
+	return fmt.Sprintf("semisync: step budget %d exhausted, processes %v live and undecided", e.Budget, e.Undecided)
 }

@@ -1,6 +1,7 @@
 package semisync
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -247,10 +248,22 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestStepBudget(t *testing.T) {
-	// A stepper that never halts must trip the budget.
+	// A stepper that never halts must trip the budget, and the error must
+	// name the budget and every still-undecided live process.
 	factory := func(me core.PID, n int, input core.Value) Stepper { return spinStepper{} }
-	if _, err := Run(2, Config{MaxSteps: 50}, factory, identityInputs(2)); err == nil {
+	_, err := Run(2, Config{MaxSteps: 50}, factory, identityInputs(2))
+	if err == nil {
 		t.Fatal("expected step budget error")
+	}
+	var sb *StepBudgetError
+	if !errors.As(err, &sb) {
+		t.Fatalf("err = %T %v, want *StepBudgetError", err, err)
+	}
+	if sb.Budget != 50 {
+		t.Fatalf("budget = %d, want 50", sb.Budget)
+	}
+	if len(sb.Undecided) != 2 || sb.Undecided[0] != 0 || sb.Undecided[1] != 1 {
+		t.Fatalf("undecided = %v, want [0 1]", sb.Undecided)
 	}
 }
 

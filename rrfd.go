@@ -69,9 +69,16 @@ var (
 	// WithRunToRound keeps the engine running past unanimous decision.
 	WithRunToRound = core.WithRunToRound
 
+	// WithMaxWallTime bounds an execution's wall-clock duration; exceeding
+	// it returns a *TimeoutError carrying the partial trace.
+	WithMaxWallTime = core.WithMaxWallTime
+
 	// ErrMaxRounds reports an execution hitting its round limit.
 	ErrMaxRounds = core.ErrMaxRounds
 )
+
+// TimeoutError reports a WithMaxWallTime budget exhausted mid-execution.
+type TimeoutError = core.TimeoutError
 
 // Set constructors.
 var (
