@@ -8,7 +8,7 @@ GO ?= go
 BENCH_PKGS := ./internal/core ./internal/agreement
 BENCH_PAT  ?= .
 
-.PHONY: build test race vet ci bench chaos-short chaos
+.PHONY: build test race vet ci bench chaos-short chaos recovery-short
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-ci: vet build race chaos-short
+ci: vet build race chaos-short recovery-short
 
 # Fixed-seed, small-N fault-injection campaigns under the race detector:
 # quick enough for every CI run, loud on any safety violation (the chaos
@@ -31,6 +31,20 @@ chaos-short:
 	$(GO) run -race ./cmd/rrfdsim -chaos -n 6 -f 2 -k 3 -runs 25 -drop 0.3 -seed 7
 	$(GO) run -race ./cmd/rrfdsim -chaos -n 5 -f 1 -k 2 -runs 15 -seed 21 \
 		-drop 0.3 -dup 0.3 -delay 0.4 -omit 0.4 -partition 0.5 -crashes 1
+
+# Fixed-seed crash-recovery campaigns plus a kill-and-resume round trip,
+# all under the race detector: every run crashes at least one process and
+# audits safety; the resumed execution must match the journal or rrfdsim
+# exits non-zero with a divergence error.
+recovery-short:
+	$(GO) run -race ./cmd/rrfdsim -chaos-recover -n 5 -f 1 -runs 25 -seed 42
+	$(GO) run -race ./cmd/rrfdsim -chaos-recover -n 5 -f 1 -runs 15 -seed 7 \
+		-drop 0.15 -delay 0.2
+	dir=$$(mktemp -d)/ck && \
+	$(GO) run -race ./cmd/rrfdsim -system crash -alg floodmin -n 8 -f 3 -seed 5 \
+		-checkpoint $$dir -kill-after 1 && \
+	$(GO) run -race ./cmd/rrfdsim -system crash -alg floodmin -n 8 -f 3 -seed 5 \
+		-resume $$dir && rm -rf $${dir%/ck}
 
 # The larger sweep: every fault class, more seeds, more runs.
 chaos:

@@ -16,6 +16,16 @@
 // prints the scheduler seed, the fault plan and a delta-debugged minimal
 // plan, and exits non-zero.
 //
+// Crash recovery: -checkpoint DIR journals the execution to a write-ahead
+// log; -kill-after R deterministically kills the run at a round boundary;
+// -resume DIR reconstructs the journaled run (same flags = same oracle and
+// algorithm) and continues it to completion. -chaos-recover runs the
+// crash-and-recover campaign: every run crashes at least one process,
+// usually restarts it from its durable journal, and audits safety
+// (validity, (f+1)-agreement, per-round budget, log-before-act durability);
+// -bug plants the amnesia bug — a recovered process deciding from its
+// pre-crash un-flushed state — to demo that the audit catches it.
+//
 // Usage examples:
 //
 //	go run ./cmd/rrfdsim -system kset -k 2 -n 8 -alg kset
@@ -25,11 +35,16 @@
 //	go run ./cmd/rrfdsim -system snapshot -n 6 -f 2 -alg none -rounds 4
 //	go run ./cmd/rrfdsim -chaos -n 6 -f 2 -k 3 -runs 200 -drop 0.3 -seed 7
 //	go run ./cmd/rrfdsim -chaos -runs 50 -drop 0.5 -partition 0.5 -crashes 2 -metrics
+//	go run ./cmd/rrfdsim -system crash -alg floodmin -checkpoint /tmp/ck -kill-after 2
+//	go run ./cmd/rrfdsim -system crash -alg floodmin -resume /tmp/ck
+//	go run ./cmd/rrfdsim -chaos-recover -n 5 -f 1 -runs 100 -seed 42
+//	go run ./cmd/rrfdsim -chaos-recover -runs 60 -bug
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +66,13 @@ type config struct {
 	outFile     string
 	metrics     bool
 	eventsFile  string
+
+	// crash-recovery flags
+	ckptDir      string
+	snapEvery    int
+	killAfter    int
+	resumeDir    string
+	chaosRecover bool
 
 	// chaos-mode flags
 	chaos     bool
@@ -80,6 +102,11 @@ func main() {
 	flag.StringVar(&cfg.outFile, "o", "", "write the execution trace as JSON to this file")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print a JSON metrics snapshot after the run")
 	flag.StringVar(&cfg.eventsFile, "events", "", "stream structured JSONL events to this file")
+	flag.StringVar(&cfg.ckptDir, "checkpoint", "", "journal the execution to a WAL in this directory (resumable with -resume)")
+	flag.IntVar(&cfg.snapEvery, "snap-every", 2, "checkpoint: snapshot cadence in rounds (0 = round log only, resume replays)")
+	flag.IntVar(&cfg.killAfter, "kill-after", 0, "kill the run after this round completes and is journaled (requires -checkpoint)")
+	flag.StringVar(&cfg.resumeDir, "resume", "", "resume a journaled run from this directory (pass the original system/alg flags)")
+	flag.BoolVar(&cfg.chaosRecover, "chaos-recover", false, "run the crash-and-recover chaos campaign (crashes + supervised restarts + safety audit)")
 	flag.BoolVar(&cfg.chaos, "chaos", false, "run the randomized fault-injection campaign instead of a single execution")
 	flag.IntVar(&cfg.runs, "runs", 0, "chaos: number of randomized executions (0 = 100)")
 	flag.Float64Var(&cfg.drop, "drop", 0, "chaos: per-message drop-rate bound (0 with all other rates 0 = 0.3)")
@@ -88,9 +115,9 @@ func main() {
 	flag.IntVar(&cfg.delaymax, "delaymax", 0, "chaos: max injected delay in steps (0 = 16)")
 	flag.Float64Var(&cfg.omit, "omit", 0, "chaos: send-omission rate bound for up to f faulty senders")
 	flag.Float64Var(&cfg.partition, "partition", 0, "chaos: per-run probability of a healing partition")
-	flag.IntVar(&cfg.crashes, "crashes", 0, "chaos: max crash failures per run (clamped to f)")
-	flag.IntVar(&cfg.watchdog, "watchdog", 0, "chaos: round watchdog in steps (0 = 1200)")
-	flag.BoolVar(&cfg.bug, "bug", false, "chaos: plant the sub-quorum decision bug (demo that the harness catches it)")
+	flag.IntVar(&cfg.crashes, "crashes", 0, "chaos modes: max crash failures per run (clamped to f)")
+	flag.IntVar(&cfg.watchdog, "watchdog", 0, "chaos modes: round watchdog in steps (0 = default)")
+	flag.BoolVar(&cfg.bug, "bug", false, "plant a bug the harness catches: sub-quorum decision (-chaos) or amnesia (-chaos-recover)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -115,6 +142,9 @@ func run(cfg config, w io.Writer) error {
 	}
 	if cfg.chaos {
 		return runChaos(cfg, w)
+	}
+	if cfg.chaosRecover {
+		return runChaosRecover(cfg, w)
 	}
 
 	var (
@@ -172,6 +202,18 @@ func run(cfg config, w io.Writer) error {
 	}
 	if cfg.noTrace {
 		opts = append(opts, rrfd.WithoutTrace())
+	}
+	if dir := cfg.ckptDir; dir != "" || cfg.resumeDir != "" {
+		// On resume, pass the same checkpoint options so the continuation
+		// keeps journaling to the log with the original durability policy.
+		if dir == "" {
+			dir = cfg.resumeDir
+		}
+		opts = append(opts, rrfd.WithCheckpointing(dir,
+			rrfd.CheckpointOptions{Every: cfg.snapEvery, Sync: rrfd.SyncAlways}))
+	}
+	if cfg.killAfter > 0 {
+		opts = append(opts, rrfd.WithHaltAfterRound(cfg.killAfter))
 	}
 
 	finish := func(tr *rrfd.Trace) error {
@@ -243,9 +285,26 @@ func run(cfg config, w io.Writer) error {
 		return fmt.Errorf("unknown algorithm %q", cfg.alg)
 	}
 
-	res, err := rrfd.Run(n, inputs, factory, oracle, opts...)
+	var res *rrfd.Result
+	var err error
+	if cfg.resumeDir != "" {
+		res, err = rrfd.Resume(cfg.resumeDir, factory, oracle, opts...)
+	} else {
+		res, err = rrfd.Run(n, inputs, factory, oracle, opts...)
+	}
+	var halt *rrfd.HaltError
+	if errors.As(err, &halt) {
+		// A deliberate kill at a round boundary: the journal is settled and
+		// the run is suspended, not failed.
+		fmt.Fprintf(w, "halted after round %d (journaled); continue with -resume %s\n",
+			halt.Round, halt.Dir)
+		return finish(res.Trace)
+	}
 	if err != nil {
 		return err
+	}
+	if cfg.resumeDir != "" {
+		fmt.Fprintf(w, "resumed from %s\n", cfg.resumeDir)
 	}
 	fmt.Fprintf(w, "system=%s alg=%s n=%d f=%d k=%d seed=%d\n", cfg.system, cfg.alg, n, f, k, seed)
 	fmt.Fprintf(w, "rounds: %d, crashed: %s\n", res.Rounds, res.Crashed)
@@ -328,6 +387,62 @@ func runChaos(cfg config, w io.Writer) error {
 	return nil
 }
 
+// runChaosRecover executes the crash-and-recover campaign: every run
+// crashes at least one process, usually restarts it from its durable
+// journal, and audits the outcome's safety.
+func runChaosRecover(cfg config, w io.Writer) error {
+	var metrics *rrfd.Metrics
+	var events *rrfd.EventLog
+	var eventsBuf *bufio.Writer
+	if cfg.metrics {
+		metrics = rrfd.NewMetrics()
+	}
+	if cfg.eventsFile != "" {
+		file, err := os.Create(cfg.eventsFile)
+		if err != nil {
+			return fmt.Errorf("create events file: %w", err)
+		}
+		defer file.Close()
+		eventsBuf = bufio.NewWriter(file)
+		events = rrfd.NewEventLog(eventsBuf)
+	}
+
+	sum := rrfd.RecoverChaosRun(rrfd.RecoverChaosConfig{
+		N: cfg.n, F: cfg.f,
+		Rounds:        cfg.rounds,
+		Runs:          cfg.runs,
+		Seed:          cfg.seed,
+		DropRate:      cfg.drop,
+		DelayRate:     cfg.delay,
+		MaxCrashes:    cfg.crashes,
+		WatchdogSteps: cfg.watchdog,
+		AmnesiaBug:    cfg.bug,
+		Observer:      rrfd.MultiObserver(metrics, events),
+		Out:           w,
+	})
+
+	if events != nil {
+		if err := eventsBuf.Flush(); err != nil {
+			return fmt.Errorf("flush events: %w", err)
+		}
+		if err := events.Err(); err != nil {
+			return fmt.Errorf("write events: %w", err)
+		}
+		fmt.Fprintf(w, "%d events written to %s\n", events.Lines(), cfg.eventsFile)
+	}
+	if metrics != nil {
+		b, err := metrics.Snapshot().JSON()
+		if err != nil {
+			return fmt.Errorf("encode metrics: %w", err)
+		}
+		fmt.Fprintf(w, "metrics:\n%s\n", b)
+	}
+	if !sum.Ok() {
+		return fmt.Errorf("chaos-recover: %d safety violation(s) in %d runs", len(sum.Violations), sum.Runs)
+	}
+	return nil
+}
+
 // validate rejects flag combinations that would silently do nothing — in
 // particular -o (and -trace) with trace recording disabled.
 func validate(cfg config) error {
@@ -342,6 +457,24 @@ func validate(cfg config) error {
 	}
 	if cfg.chaos && (cfg.dumpTrace || cfg.outFile != "") {
 		return fmt.Errorf("-chaos runs many executions and records no single trace: drop -trace/-o")
+	}
+	if cfg.chaosRecover && (cfg.dumpTrace || cfg.outFile != "") {
+		return fmt.Errorf("-chaos-recover runs many executions and records no single trace: drop -trace/-o")
+	}
+	if cfg.chaos && cfg.chaosRecover {
+		return fmt.Errorf("pick one of -chaos and -chaos-recover")
+	}
+	if cfg.killAfter > 0 && cfg.ckptDir == "" && cfg.resumeDir == "" {
+		return fmt.Errorf("-kill-after suspends a journaled run: add -checkpoint DIR")
+	}
+	if cfg.resumeDir != "" && cfg.ckptDir != "" {
+		return fmt.Errorf("-resume continues the existing journal in place: drop -checkpoint")
+	}
+	if (cfg.ckptDir != "" || cfg.resumeDir != "") && (cfg.chaos || cfg.chaosRecover) {
+		return fmt.Errorf("campaign modes manage their own journals: drop -checkpoint/-resume")
+	}
+	if (cfg.ckptDir != "" || cfg.resumeDir != "") && cfg.alg == "none" {
+		return fmt.Errorf("checkpointing journals an algorithm run: use an -alg other than none")
 	}
 	return nil
 }

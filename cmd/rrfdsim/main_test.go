@@ -239,3 +239,122 @@ func TestValidateRejectsChaosWithTrace(t *testing.T) {
 		t.Fatal("validate accepted -chaos with -o")
 	}
 }
+
+// TestRunKillResumeIdenticalTrace is the acceptance round trip: a run
+// journaled with -checkpoint and killed mid-way by -kill-after, then
+// continued with -resume, must produce byte-for-byte the trace of an
+// uninterrupted run with the same flags.
+func TestRunKillResumeIdenticalTrace(t *testing.T) {
+	dir := t.TempDir()
+	base := config{system: "crash", alg: "floodmin", n: 8, f: 3, k: 2, seed: 5, snapEvery: 2}
+
+	full := base
+	full.outFile = filepath.Join(dir, "full.json")
+	var out bytes.Buffer
+	if err := run(full, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	killed := base
+	killed.ckptDir = filepath.Join(dir, "ck")
+	killed.killAfter = 1
+	out.Reset()
+	if err := run(killed, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "halted after round 1") {
+		t.Fatalf("kill run output:\n%s", out.String())
+	}
+
+	resumed := base
+	resumed.resumeDir = killed.ckptDir
+	resumed.outFile = filepath.Join(dir, "resumed.json")
+	out.Reset()
+	if err := run(resumed, &out); err != nil {
+		t.Fatalf("resume: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "resumed from") {
+		t.Fatalf("resume output:\n%s", out.String())
+	}
+
+	a, err := os.ReadFile(full.outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumed.outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed trace differs from uninterrupted trace:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestValidateRecoveryFlagCombos(t *testing.T) {
+	cfg := baseConfig()
+	cfg.killAfter = 2
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -kill-after without -checkpoint")
+	}
+	cfg = baseConfig()
+	cfg.ckptDir = "a"
+	cfg.resumeDir = "b"
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -resume with -checkpoint")
+	}
+	cfg = baseConfig()
+	cfg.alg = "none"
+	cfg.ckptDir = "a"
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -checkpoint with -alg none")
+	}
+	cfg = baseConfig()
+	cfg.chaos = true
+	cfg.chaosRecover = true
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -chaos with -chaos-recover")
+	}
+	cfg = config{n: 5, chaosRecover: true, dumpTrace: true}
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -chaos-recover with -trace")
+	}
+}
+
+func TestRunChaosRecoverClean(t *testing.T) {
+	cfg := config{n: 5, f: 1, chaosRecover: true, runs: 25, seed: 42}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("clean campaign errored: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), " 0 violations") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunChaosRecoverAmnesiaBugFailsLoudly(t *testing.T) {
+	cfg := config{n: 5, f: 1, chaosRecover: true, runs: 40, seed: 42, bug: true}
+	var out bytes.Buffer
+	err := run(cfg, &out)
+	if err == nil {
+		t.Fatalf("planted amnesia bug went undetected:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "safety violation") {
+		t.Fatalf("err = %v, want a safety-violation error", err)
+	}
+	if !strings.Contains(out.String(), "replay: sched-seed=") {
+		t.Fatalf("violation lacks a replay recipe:\n%s", out.String())
+	}
+}
+
+func TestRunChaosRecoverMetrics(t *testing.T) {
+	cfg := config{n: 5, f: 1, chaosRecover: true, runs: 10, seed: 7, metrics: true}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"recovery"`, `"restarts"`, `"rejoins"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("metrics lack %q:\n%s", want, out.String())
+		}
+	}
+}

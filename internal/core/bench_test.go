@@ -88,6 +88,56 @@ func BenchmarkEngineRoundsObserved(b *testing.B) {
 	}
 }
 
+// BenchmarkRun / BenchmarkCheckpointedRun measure the cost of journaling an
+// execution: the same run bare, with round records only, and with a snapshot
+// every round. The delta is the checkpointing overhead tracked in
+// BENCH_core.json.
+func BenchmarkRun(b *testing.B) {
+	const n, rounds = 8, 10
+	inputs := benchInputs(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(n, inputs, ckFactory(rounds), ckOracle(n), WithoutTrace()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rounds), "rounds/run")
+}
+
+func BenchmarkCheckpointedRun(b *testing.B) {
+	const n, rounds = 8, 10
+	inputs := benchInputs(n)
+	for _, cfg := range []struct {
+		name string
+		co   CheckpointOptions
+	}{
+		{"rounds-only", CheckpointOptions{}},
+		{"snapshot-every-round", CheckpointOptions{Every: 1}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			root := b.TempDir()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dir := fmt.Sprintf("%s/ck-%d", root, i)
+				if _, err := Run(n, inputs, ckFactory(rounds), ckOracle(n), WithoutTrace(),
+					WithCheckpointing(dir, cfg.co)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rounds), "rounds/run")
+		})
+	}
+}
+
+func benchInputs(n int) []Value {
+	in := make([]Value, n)
+	for i := range in {
+		in[i] = n - i
+	}
+	return in
+}
+
 func BenchmarkCollectTraceWithRecording(b *testing.B) {
 	n := 16
 	oracle := OracleFunc(func(r int, active Set) RoundPlan {

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// ckTestAlg is a deterministic min-flooding algorithm with snapshot support
+// and a count of Deliver calls made on this instance (to observe whether
+// Resume replayed rounds or skipped them via a snapshot).
+type ckTestAlg struct {
+	est      int
+	rounds   int
+	delivers int
+}
+
+func ckFactory(rounds int) Factory {
+	return func(me PID, n int, input Value) Algorithm {
+		return &ckTestAlg{est: input.(int), rounds: rounds}
+	}
+}
+
+func (a *ckTestAlg) Emit(r int) Message { return a.est }
+
+func (a *ckTestAlg) Deliver(r int, msgs map[PID]Message, suspects Set) (Value, bool) {
+	a.delivers++
+	for _, m := range msgs {
+		if v := m.(int); v < a.est {
+			a.est = v
+		}
+	}
+	if r >= a.rounds {
+		return a.est, true
+	}
+	return nil, false
+}
+
+func (a *ckTestAlg) Snapshot() ([]byte, error) {
+	return json.Marshal(map[string]int{"est": a.est, "rounds": a.rounds})
+}
+
+func (a *ckTestAlg) Restore(b []byte) error {
+	var s map[string]int
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	a.est, a.rounds = s["est"], s["rounds"]
+	return nil
+}
+
+// ckOracle is a deterministic adversary: it crashes process 0 at round 1 and
+// has every live process suspect exactly the crashed set.
+func ckOracle(n int) Oracle {
+	return OracleFunc(func(r int, active Set) RoundPlan {
+		crashes := NewSet(n)
+		if r == 1 {
+			crashes.Add(0)
+		}
+		dead := FullSet(n).Diff(active.Diff(crashes))
+		sus := make([]Set, n)
+		for i := range sus {
+			sus[i] = dead.Clone()
+		}
+		return RoundPlan{Suspects: sus, Crashes: crashes}
+	})
+}
+
+func ckInputs(n int) []Value {
+	in := make([]Value, n)
+	for i := range in {
+		in[i] = n - i // min lives on the crashed process's survivors
+	}
+	return in
+}
+
+func sameResult(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("outputs differ: %v vs %v", a.Outputs, b.Outputs)
+	}
+	for p, v := range a.Outputs {
+		if b.Outputs[p] != v {
+			t.Fatalf("p%d decided %v vs %v", p, v, b.Outputs[p])
+		}
+	}
+	for p, r := range a.DecidedAt {
+		if b.DecidedAt[p] != r {
+			t.Fatalf("p%d decided at %d vs %d", p, r, b.DecidedAt[p])
+		}
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatalf("rounds %d vs %d", a.Rounds, b.Rounds)
+	}
+	if !a.Crashed.Equal(b.Crashed) {
+		t.Fatalf("crashed %s vs %s", a.Crashed, b.Crashed)
+	}
+	ta, err := json.Marshal(a.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := json.Marshal(b.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ta) != string(tb) {
+		t.Fatalf("traces differ:\n%s\nvs\n%s", ta, tb)
+	}
+}
+
+func TestKillAndResumeIdenticalTrace(t *testing.T) {
+	const n, rounds = 5, 4
+	inputs := ckInputs(n)
+
+	want, err := Run(n, inputs, ckFactory(rounds), ckOracle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for halt := 1; halt < rounds; halt++ {
+		dir := filepath.Join(t.TempDir(), "ck")
+		_, err := Run(n, inputs, ckFactory(rounds), ckOracle(n),
+			WithCheckpointing(dir, CheckpointOptions{}),
+			WithHaltAfterRound(halt))
+		var he *HaltError
+		if !errors.As(err, &he) || he.Round != halt {
+			t.Fatalf("halt %d: got %v, want *HaltError", halt, err)
+		}
+
+		got, err := Resume(dir, ckFactory(rounds), ckOracle(n))
+		if err != nil {
+			t.Fatalf("resume after halt %d: %v", halt, err)
+		}
+		sameResult(t, want, got)
+	}
+}
+
+func TestResumeFromSnapshotSkipsReplay(t *testing.T) {
+	const n, rounds = 4, 5
+	inputs := ckInputs(n)
+	dir := filepath.Join(t.TempDir(), "ck")
+
+	_, err := Run(n, inputs, ckFactory(rounds), ckOracle(n),
+		WithCheckpointing(dir, CheckpointOptions{Every: 1}),
+		WithHaltAfterRound(3))
+	var he *HaltError
+	if !errors.As(err, &he) {
+		t.Fatalf("got %v, want *HaltError", err)
+	}
+
+	var algs []*ckTestAlg
+	countingFactory := func(me PID, n int, input Value) Algorithm {
+		a := &ckTestAlg{est: input.(int), rounds: rounds}
+		algs = append(algs, a)
+		return a
+	}
+	got, err := Resume(dir, countingFactory, ckOracle(n),
+		WithCheckpointing(dir, CheckpointOptions{Every: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(n, inputs, ckFactory(rounds), ckOracle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got)
+
+	// The snapshot at round 3 means the resumed instances only ran rounds
+	// 4 and 5 — no replay of rounds 1..3.
+	for i, a := range algs {
+		if PID(i) == 0 {
+			continue // crashed at round 1: no delivers at all
+		}
+		if a.delivers != 2 {
+			t.Fatalf("p%d saw %d delivers after snapshot resume, want 2", i, a.delivers)
+		}
+	}
+}
+
+func TestResumeWithoutSnapshotReplaysAll(t *testing.T) {
+	const n, rounds = 4, 5
+	inputs := ckInputs(n)
+	dir := filepath.Join(t.TempDir(), "ck")
+
+	_, err := Run(n, inputs, ckFactory(rounds), ckOracle(n),
+		WithCheckpointing(dir, CheckpointOptions{}), // Every=0: no snapshots
+		WithHaltAfterRound(3))
+	var he *HaltError
+	if !errors.As(err, &he) {
+		t.Fatalf("got %v, want *HaltError", err)
+	}
+	var algs []*ckTestAlg
+	countingFactory := func(me PID, n int, input Value) Algorithm {
+		a := &ckTestAlg{est: input.(int), rounds: rounds}
+		algs = append(algs, a)
+		return a
+	}
+	got, err := Resume(dir, countingFactory, ckOracle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(n, inputs, ckFactory(rounds), ckOracle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got)
+	for i, a := range algs {
+		if PID(i) == 0 {
+			continue
+		}
+		if a.delivers != rounds {
+			t.Fatalf("p%d saw %d delivers after replay resume, want %d", i, a.delivers, rounds)
+		}
+	}
+}
+
+func TestResumeCompletedRun(t *testing.T) {
+	const n, rounds = 4, 3
+	inputs := ckInputs(n)
+	dir := filepath.Join(t.TempDir(), "ck")
+
+	want, err := Run(n, inputs, ckFactory(rounds), ckOracle(n),
+		WithCheckpointing(dir, CheckpointOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Resume(dir, ckFactory(rounds), ckOracle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got)
+}
+
+func TestResumeAfterHaltAtFinalRound(t *testing.T) {
+	// Killed after the deciding round but before the end marker: Resume
+	// must settle the log and reconstruct the finished run.
+	const n, rounds = 4, 3
+	inputs := ckInputs(n)
+	dir := filepath.Join(t.TempDir(), "ck")
+
+	_, err := Run(n, inputs, ckFactory(rounds), ckOracle(n),
+		WithCheckpointing(dir, CheckpointOptions{}),
+		WithHaltAfterRound(rounds))
+	var he *HaltError
+	if !errors.As(err, &he) {
+		t.Fatalf("got %v, want *HaltError", err)
+	}
+	want, err := Run(n, inputs, ckFactory(rounds), ckOracle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Resume(dir, ckFactory(rounds), ckOracle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got)
+}
+
+func TestResumeDivergentOracle(t *testing.T) {
+	const n, rounds = 4, 4
+	inputs := ckInputs(n)
+	dir := filepath.Join(t.TempDir(), "ck")
+
+	_, err := Run(n, inputs, ckFactory(rounds), ckOracle(n),
+		WithCheckpointing(dir, CheckpointOptions{}),
+		WithHaltAfterRound(2))
+	var he *HaltError
+	if !errors.As(err, &he) {
+		t.Fatalf("got %v, want *HaltError", err)
+	}
+
+	// A benign oracle (no crash at round 1) does not reproduce the journal.
+	benign := OracleFunc(func(r int, active Set) RoundPlan {
+		sus := make([]Set, n)
+		for i := range sus {
+			sus[i] = FullSet(n).Diff(active)
+		}
+		return RoundPlan{Suspects: sus}
+	})
+	_, err = Resume(dir, ckFactory(rounds), benign)
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("got %v, want *DivergenceError", err)
+	}
+}
+
+func TestResumeSurvivesTornTail(t *testing.T) {
+	const n, rounds = 5, 4
+	inputs := ckInputs(n)
+	dir := filepath.Join(t.TempDir(), "ck")
+
+	_, err := Run(n, inputs, ckFactory(rounds), ckOracle(n),
+		WithCheckpointing(dir, CheckpointOptions{}),
+		WithHaltAfterRound(2))
+	var he *HaltError
+	if !errors.As(err, &he) {
+		t.Fatalf("got %v, want *HaltError", err)
+	}
+
+	// A real kill can tear the last record: chop bytes off the segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	b, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, b[:len(b)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Resume(dir, ckFactory(rounds), ckOracle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(n, inputs, ckFactory(rounds), ckOracle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got)
+}
+
+func TestResumeEmptyDirFails(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nothing")
+	if _, err := Resume(dir, ckFactory(2), ckOracle(3)); err == nil {
+		t.Fatal("resume of an empty log should fail")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	const n, rounds = 5, 3
+	res, err := Run(n, ckInputs(n), ckFactory(rounds), ckOracle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.ValidateFailStop(); err != nil {
+		t.Fatalf("engine trace failed validation: %v", err)
+	}
+
+	// A trace where a departed process re-enters Active passes the structural
+	// check but not the fail-stop one.
+	revived := *res.Trace
+	revived.Rounds = append([]RoundRecord(nil), res.Trace.Rounds...)
+	last := &revived.Rounds[len(revived.Rounds)-1]
+	cp := *last
+	cp.R++
+	cp.Active = cp.Active.Clone()
+	cp.Active.Add(0)
+	cp.Suspects = append([]Set(nil), cp.Suspects...)
+	cp.Deliver = append([]Set(nil), cp.Deliver...)
+	cp.Suspects[0] = NewSet(n)
+	cp.Deliver[0] = FullSet(n)
+	revived.Rounds = append(revived.Rounds, cp)
+	if err := revived.Validate(); err != nil {
+		t.Fatalf("recovery-shaped trace failed structural validation: %v", err)
+	}
+	if err := revived.ValidateFailStop(); err == nil {
+		t.Fatal("revived process passed fail-stop validation")
+	}
+
+	// Break S ∪ D = S for one process and revalidate.
+	bad := *res.Trace
+	rec := bad.Round(2)
+	p := rec.Active.Members()[0]
+	rec.Deliver[p] = NewSet(n)
+	rec.Suspects[p] = NewSet(n)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("tampered trace passed validation")
+	}
+}

@@ -62,6 +62,9 @@ type engineOptions struct {
 	extraRound int
 	observer   obs.Observer
 	clock      func() time.Time
+	ckDir      string
+	ckOpts     CheckpointOptions
+	haltAfter  int
 }
 
 // Option configures Run.
@@ -159,23 +162,79 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 		procs[i] = factory(PID(i), n, inputs[i])
 	}
 
-	res = &Result{
-		Outputs:   make(map[PID]Value, n),
-		DecidedAt: make(map[PID]int, n),
-		Crashed:   NewSet(n),
+	e := &execution{
+		n:      n,
+		o:      o,
+		ob:     ob,
+		now:    now,
+		oracle: oracle,
+		procs:  procs,
+		active: FullSet(n),
+		full:   FullSet(n),
+		res: &Result{
+			Outputs:   make(map[PID]Value, n),
+			DecidedAt: make(map[PID]int, n),
+			Crashed:   NewSet(n),
+		},
 	}
 	if o.trace {
-		res.Trace = NewTrace(n)
+		e.res.Trace = NewTrace(n)
 	}
+	if o.ckDir != "" {
+		ck, err := newCheckpointer(o.ckDir, o.ckOpts, n, inputs)
+		if err != nil {
+			return nil, err
+		}
+		e.ck = ck
+	}
+	return e.run(1)
+}
+
+// execution is one engine run in flight: the loop state shared by Run and
+// Resume.
+type execution struct {
+	n      int
+	o      engineOptions
+	ob     obs.Observer
+	now    func() time.Time
+	oracle Oracle
+	procs  []Algorithm
+	res    *Result
+	active Set
+	full   Set
+	ck     *checkpointer
+}
+
+// run executes rounds startRound..maxRounds and settles the checkpoint log:
+// a clean finish gets an end-of-log marker, every other exit (halt, timeout,
+// plan error) leaves the log resumable.
+func (e *execution) run(startRound int) (*Result, error) {
+	res, err := e.loop(startRound)
+	if e.ck != nil {
+		if err == nil {
+			if werr := e.ck.writeEnd(); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if cerr := e.ck.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return res, err
+}
+
+// loop is the lock-step round loop.
+func (e *execution) loop(startRound int) (*Result, error) {
+	o, ob, now, res := e.o, e.ob, e.now, e.res
+	n, full := e.n, e.full
 
 	var wallStart time.Time
 	if o.maxWall > 0 {
 		wallStart = now()
 	}
 
-	active := FullSet(n)
-	full := FullSet(n)
-	for r := 1; r <= o.maxRounds; r++ {
+	record := o.trace || e.ck != nil
+	for r := startRound; r <= o.maxRounds; r++ {
 		if o.maxWall > 0 {
 			if elapsed := now().Sub(wallStart); elapsed > o.maxWall {
 				return res, &TimeoutError{Limit: o.maxWall, Elapsed: elapsed, Rounds: res.Rounds, Trace: res.Trace}
@@ -183,22 +242,22 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 		}
 		var phaseStart time.Time
 		if ob != nil {
-			ob.RoundStart(r, active.Count())
+			ob.RoundStart(r, e.active.Count())
 			phaseStart = now()
 		}
-		plan := oracle.Plan(r, active)
+		plan := e.oracle.Plan(r, e.active)
 		if ob != nil {
 			ob.Phase(r, "plan", now().Sub(phaseStart))
 		}
-		if err := validatePlan(n, r, active, &plan); err != nil {
+		if err := validatePlan(n, r, e.active, &plan); err != nil {
 			return nil, err
 		}
-		active = active.Diff(plan.Crashes)
+		e.active = e.active.Diff(plan.Crashes)
 		res.Crashed = res.Crashed.Union(plan.Crashes)
 		if ob != nil && !plan.Crashes.Empty() {
 			ob.Crash(r, observerInts(plan.Crashes))
 		}
-		if active.Empty() {
+		if e.active.Empty() {
 			res.Rounds = r
 			return res, fmt.Errorf("core: all processes crashed at round %d", r)
 		}
@@ -207,8 +266,8 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 			phaseStart = now()
 		}
 		msgs := make([]Message, n)
-		active.ForEach(func(p PID) {
-			msgs[p] = procs[p].Emit(r)
+		e.active.ForEach(func(p PID) {
+			msgs[p] = e.procs[p].Emit(r)
 			if ob != nil {
 				ob.Emit(r, int(p))
 			}
@@ -219,26 +278,26 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 		}
 
 		var rec RoundRecord
-		if o.trace {
+		if record {
 			rec = RoundRecord{
 				R:        r,
 				Suspects: make([]Set, n),
 				Deliver:  make([]Set, n),
-				Active:   active.Clone(),
-				Crashed:  full.Diff(active),
+				Active:   e.active.Clone(),
+				Crashed:  full.Diff(e.active),
 			}
 		}
 
 		var deliverErr error
-		active.ForEach(func(p PID) {
-			deliver := plan.deliverSet(p, active)
+		e.active.ForEach(func(p PID) {
+			deliver := plan.deliverSet(p, e.active)
 			if !deliver.Union(plan.Suspects[p]).Equal(full) {
 				deliverErr = &PlanError{Round: r, Proc: p, Reason: "S(i,r) ∪ D(i,r) ≠ S"}
 				return
 			}
 			in := make(map[PID]Message, deliver.Count())
 			deliver.ForEach(func(q PID) { in[q] = msgs[q] })
-			out, decided := procs[p].Deliver(r, in, plan.Suspects[p].Clone())
+			out, decided := e.procs[p].Deliver(r, in, plan.Suspects[p].Clone())
 			if ob != nil {
 				ob.Suspect(r, int(p), observerInts(plan.Suspects[p]))
 				ob.Deliver(r, int(p), deliver.Count(), plan.Suspects[p].Count())
@@ -252,7 +311,7 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 					}
 				}
 			}
-			if o.trace {
+			if record {
 				rec.Suspects[p] = plan.Suspects[p].Clone()
 				rec.Deliver[p] = deliver
 			}
@@ -263,18 +322,28 @@ func Run(n int, inputs []Value, factory Factory, oracle Oracle, opts ...Option) 
 		if deliverErr != nil {
 			return nil, deliverErr
 		}
-		if o.trace {
+		if record {
 			for i := 0; i < n; i++ {
 				if rec.Suspects[i].words == nil {
 					rec.Suspects[i] = NewSet(n)
 					rec.Deliver[i] = NewSet(n)
 				}
 			}
-			res.Trace.Append(rec)
+			if o.trace {
+				res.Trace.Append(rec)
+			}
+		}
+		if e.ck != nil {
+			if err := e.ck.endOfRound(e, &rec); err != nil {
+				return res, err
+			}
 		}
 
 		res.Rounds = r
-		if allDecided(active, res.DecidedAt) && r >= o.extraRound {
+		if o.haltAfter > 0 && r >= o.haltAfter {
+			return res, &HaltError{Round: r, Dir: o.ckDir}
+		}
+		if allDecided(e.active, res.DecidedAt) && r >= o.extraRound {
 			return res, nil
 		}
 	}

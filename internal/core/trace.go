@@ -112,6 +112,62 @@ func (t *Trace) Prefix(r int) *Trace {
 	return &Trace{N: t.N, Rounds: t.Rounds[:r]}
 }
 
+// Validate checks the structural RRFD invariants that hold in every failure
+// model: round numbers are contiguous from 1, and every active process p has
+// S(p,r) ∪ D(p,r) = S and D(p,r) ≠ S. It deliberately does NOT require the
+// active set to shrink monotonically — in the crash-recovery model a process
+// may leave Active (peers suspect it while it is down) and re-enter once it
+// has caught up. Fail-stop executions should use ValidateFailStop, which adds
+// the permanence check.
+func (t *Trace) Validate() error {
+	full := FullSet(t.N)
+	for i := range t.Rounds {
+		rec := &t.Rounds[i]
+		if rec.R != i+1 {
+			return fmt.Errorf("core: trace round %d records round number %d", i+1, rec.R)
+		}
+		if len(rec.Suspects) != t.N || len(rec.Deliver) != t.N {
+			return fmt.Errorf("core: trace round %d sized for %d/%d processes, want %d", rec.R, len(rec.Suspects), len(rec.Deliver), t.N)
+		}
+		var err error
+		rec.Active.ForEach(func(p PID) {
+			if err != nil {
+				return
+			}
+			if rec.Suspects[p].Count() == t.N {
+				err = &PlanError{Round: rec.R, Proc: p, Reason: "D(i,r) = S is forbidden"}
+				return
+			}
+			if !rec.Deliver[p].Union(rec.Suspects[p]).Equal(full) {
+				err = &PlanError{Round: rec.R, Proc: p, Reason: "S(i,r) ∪ D(i,r) ≠ S"}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateFailStop checks Validate's invariants plus the fail-stop one:
+// a process that leaves the active set never returns (crashes are permanent).
+// Engine-produced traces must satisfy this; crash-recovery traces generally
+// do not.
+func (t *Trace) ValidateFailStop() error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	prevActive := FullSet(t.N)
+	for i := range t.Rounds {
+		rec := &t.Rounds[i]
+		if !rec.Active.IsSubset(prevActive) {
+			return fmt.Errorf("core: trace round %d revives crashed processes: active %s after %s", rec.R, rec.Active, prevActive)
+		}
+		prevActive = rec.Active
+	}
+	return nil
+}
+
 // String renders a compact human-readable dump of the trace, one line per
 // process per round.
 func (t *Trace) String() string {

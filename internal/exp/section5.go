@@ -75,14 +75,24 @@ func E15Lattice(quick bool) (*Table, error) {
 		gen  predicate.TraceGen
 		a, b predicate.P
 	}
+	// Every generator funnels through captureGen: a failed trace generation
+	// surfaces as the experiment's error (and the CLI's exit code) instead
+	// of a panic mid-sweep.
+	var genErrs []*error
 	genFor := func(mk func(seed int64) core.Oracle, rounds int) predicate.TraceGen {
-		return func(seed int64) *core.Trace {
-			tr, err := core.CollectTrace(n, rounds, mk(seed))
-			if err != nil {
-				panic(err)
+		g, e := captureGen(n, func(seed int64) (*core.Trace, error) {
+			return core.CollectTrace(n, rounds, mk(seed))
+		})
+		genErrs = append(genErrs, e)
+		return g
+	}
+	firstGenErr := func() error {
+		for _, e := range genErrs {
+			if *e != nil {
+				return *e
 			}
-			return tr
 		}
+		return nil
 	}
 	implications := []implication{
 		{
@@ -134,13 +144,17 @@ func E15Lattice(quick bool) (*Table, error) {
 	separations := []separation{
 		{
 			name: "async-mp(f) ⇏ shared-memory (2f ≥ n partitions)",
-			gen: func(seed int64) *core.Trace {
-				out, err := msgnet.RunRounds(2, 1, 3, msgnet.Config{Chooser: msgnet.Seeded(seed)}, nil)
-				if err != nil {
-					panic(err)
-				}
-				return out.Trace
-			},
+			gen: func() predicate.TraceGen {
+				g, e := captureGen(2, func(seed int64) (*core.Trace, error) {
+					out, err := msgnet.RunRounds(2, 1, 3, msgnet.Config{Chooser: msgnet.Seeded(seed)}, nil)
+					if err != nil {
+						return nil, err
+					}
+					return out.Trace, nil
+				})
+				genErrs = append(genErrs, e)
+				return g
+			}(),
 			a: predicate.PerRoundBudget(1), b: predicate.SomeoneSeenByAll(),
 		},
 		{
@@ -150,13 +164,13 @@ func E15Lattice(quick bool) (*Table, error) {
 		},
 		{
 			name: "B(f,t) ⇏ async-mp(f) (A strict submodel of B)",
-			gen: func(seed int64) *core.Trace {
-				tr, err := core.CollectTrace(9, 8, adversary.BSystemOracle(9, 2, 4, seed))
-				if err != nil {
-					panic(err)
-				}
-				return tr
-			},
+			gen: func() predicate.TraceGen {
+				g, e := captureGen(9, func(seed int64) (*core.Trace, error) {
+					return core.CollectTrace(9, 8, adversary.BSystemOracle(9, 2, 4, seed))
+				})
+				genErrs = append(genErrs, e)
+				return g
+			}(),
 			a: predicate.BSystem(2, 4), b: predicate.PerRoundBudget(2),
 		},
 		{
@@ -168,6 +182,9 @@ func E15Lattice(quick bool) (*Table, error) {
 	for _, sp := range separations {
 		_, err := predicate.Separates(sp.gen, sp.a, sp.b, 250)
 		t.AddRow(sp.name, "witness search", 250, verdict(err == nil))
+	}
+	if err := firstGenErr(); err != nil {
+		return nil, err
 	}
 
 	// Exhaustive PROOFS over tiny universes: every trace of the space is

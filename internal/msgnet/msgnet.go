@@ -167,6 +167,18 @@ type Config struct {
 	// completes before crashing.
 	Crash map[core.PID]int
 
+	// Restart maps a crashed process to the number of scheduler steps
+	// after its crash at which a fresh incarnation is spawned (values < 1
+	// are treated as 1). The new incarnation runs the same Body with
+	// Node.Incarnation = 2 and the same process identity — the fresh node
+	// is bound to the old pid, as a supervised restart re-binds a process
+	// to its address. Its operation counter restarts from zero and it is
+	// not crashed again. Messages queued for the process while it was down
+	// are lost (the mailbox is cleared at spawn); injected-delay copies
+	// released after the restart still deliver, as in-flight packets do.
+	// Processes without a Crash entry never restart.
+	Restart map[core.PID]int
+
 	// MaxSteps bounds total scheduled operations; 0 means 1<<20.
 	MaxSteps int
 
@@ -186,10 +198,17 @@ type Config struct {
 
 // Outcome reports a finished execution.
 type Outcome struct {
-	Values  map[core.PID]core.Value
-	Errs    map[core.PID]error
-	Steps   int
-	Crashed core.Set
+	// Values and Errs record each process's final return; for a restarted
+	// process the latest incarnation's return wins, and the superseded
+	// incarnation's ErrCrashed unwind is not recorded.
+	Values map[core.PID]core.Value
+	Errs   map[core.PID]error
+	Steps  int
+
+	// Crashed holds every process that crashed, including ones later
+	// restarted; Restarted holds the subset that got a fresh incarnation.
+	Crashed   core.Set
+	Restarted core.Set
 }
 
 // Node is one process's handle to the network.
@@ -199,6 +218,11 @@ type Node struct {
 
 	// N is the number of processes.
 	N int
+
+	// Incarnation is 1 for the original process and 2 for the fresh
+	// incarnation spawned by Config.Restart. Bodies use it to tell a
+	// recovery path from a boot path.
+	Incarnation int
 
 	events chan<- procEvent
 	reply  chan result
@@ -346,6 +370,12 @@ type delayedMsg struct {
 	env     Envelope
 }
 
+// restartEvent is a supervised restart scheduled for a crashed process.
+type restartEvent struct {
+	at  int // step at which the fresh incarnation spawns
+	pid core.PID
+}
+
 // Run executes body at every process under the configured adversary and
 // returns once every body has returned. Goroutines never leak: on crash,
 // deadlock, or step overflow every blocked operation is failed with
@@ -365,29 +395,37 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 	ob := cfg.Observer
 
 	events := make(chan procEvent)
-	for i := 0; i < n; i++ {
-		nd := &Node{Me: core.PID(i), N: n, events: events, reply: make(chan result, 1)}
+	spawn := func(pid core.PID, incarnation int) {
+		nd := &Node{Me: pid, N: n, Incarnation: incarnation, events: events, reply: make(chan result, 1)}
 		go func() {
 			out, err := body(nd)
 			events <- procEvent{pid: nd.Me, out: out, err: err}
 		}()
 	}
+	for i := 0; i < n; i++ {
+		spawn(core.PID(i), 1)
+	}
 
 	out := &Outcome{
-		Values:  make(map[core.PID]core.Value, n),
-		Errs:    make(map[core.PID]error),
-		Crashed: core.NewSet(n),
+		Values:    make(map[core.PID]core.Value, n),
+		Errs:      make(map[core.PID]error),
+		Crashed:   core.NewSet(n),
+		Restarted: core.NewSet(n),
 	}
 	boxes := make([]mailbox, n)
 	var delayed []delayedMsg
+	var restarts []restartEvent
+	restarted := make(map[core.PID]bool) // restart scheduled or spawned
+	returns := make(map[core.PID]int, n)
 	pending := make(map[core.PID]*request, n)
 	opsDone := make(map[core.PID]int, n)
 	finished := 0
+	total := n // bodies that must return: n plus one per restart
 	computing := n
 	step := 0
 	var abort error // once set, all further ops fail so bodies unwind
 
-	for finished < n {
+	for finished < total {
 		for computing > 0 {
 			ev := <-events
 			computing--
@@ -396,13 +434,19 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 				continue
 			}
 			finished++
-			if ev.err != nil {
+			returns[ev.pid]++
+			if errors.Is(ev.err, ErrCrashed) && restarted[ev.pid] && returns[ev.pid] == 1 {
+				// The crashed incarnation unwound; its restart supersedes
+				// it, so record nothing.
+			} else if ev.err != nil {
 				out.Errs[ev.pid] = ev.err
+				delete(out.Values, ev.pid)
 			} else {
 				out.Values[ev.pid] = ev.out
+				delete(out.Errs, ev.pid)
 			}
 		}
-		if finished == n {
+		if finished == total {
 			break
 		}
 
@@ -417,6 +461,33 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 				k++
 			}
 			delayed = delayed[k:]
+		}
+
+		// Spawn due restarts (all of them when aborting, so every body
+		// unwinds and the run terminates). The dead incarnation's queued
+		// mail is discarded: messages addressed to a down process are lost.
+		if len(restarts) > 0 {
+			keep := restarts[:0]
+			spawned := false
+			for _, rs := range restarts {
+				if abort == nil && rs.at > step {
+					keep = append(keep, rs)
+					continue
+				}
+				boxes[rs.pid] = mailbox{}
+				opsDone[rs.pid] = 0
+				out.Restarted.Add(rs.pid)
+				if ob != nil {
+					ob.Event("msgnet.restart", -1, int(rs.pid), map[string]any{"step": step, "incarnation": 2})
+				}
+				spawn(rs.pid, 2)
+				computing++
+				spawned = true
+			}
+			restarts = keep
+			if spawned {
+				continue // drain the new incarnation's first event
+			}
 		}
 
 		// Runnable: pending senders, pending receivers with mail, and
@@ -439,7 +510,7 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 		sort.Slice(runnable, func(i, j int) bool { return runnable[i] < runnable[j] })
 		if len(runnable) == 0 {
 			// Nobody can act now; fast-forward virtual time to the next
-			// delayed release or receive deadline if one exists.
+			// delayed release, receive deadline, or scheduled restart.
 			next := -1
 			for _, dm := range delayed {
 				if next < 0 || dm.release < next {
@@ -449,6 +520,11 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 			for _, req := range pending {
 				if req.kind == opRecvTimeout && (next < 0 || req.deadline < next) {
 					next = req.deadline
+				}
+			}
+			for _, rs := range restarts {
+				if next < 0 || rs.at < next {
+					next = rs.at
 				}
 			}
 			if next > step {
@@ -480,11 +556,19 @@ func Run(n int, cfg Config, body Body) (*Outcome, error) {
 
 		limit, hasLimit := cfg.Crash[pick]
 		switch {
-		case abort != nil, hasLimit && opsDone[pick] >= limit:
+		case abort != nil, hasLimit && !restarted[pick] && opsDone[pick] >= limit:
 			if abort == nil {
 				out.Crashed.Add(pick)
 				if ob != nil {
 					ob.Event("msgnet.crash", -1, int(pick), map[string]any{"ops": opsDone[pick], "step": step})
+				}
+				if delay, ok := cfg.Restart[pick]; ok {
+					if delay < 1 {
+						delay = 1
+					}
+					restarts = append(restarts, restartEvent{at: step + delay, pid: pick})
+					restarted[pick] = true
+					total++
 				}
 			}
 			req.reply <- result{err: ErrCrashed}

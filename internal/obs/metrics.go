@@ -29,6 +29,7 @@ type Metrics struct {
 	phaseCount         map[string]int64
 	events             map[string]int64
 	faults             FaultSnapshot
+	recovery           RecoverySnapshot
 }
 
 // FaultSnapshot aggregates injected-fault and link-recovery counters,
@@ -61,6 +62,41 @@ type FaultSnapshot struct {
 
 func (f FaultSnapshot) empty() bool { return f == FaultSnapshot{} }
 
+// RecoverySnapshot aggregates crash-recovery counters, derived from the
+// msgnet.restart and recovery.* event streams emitted by the checkpointing
+// engine and the crash-and-recover substrate.
+type RecoverySnapshot struct {
+	// Restarts counts supervised process restarts (msgnet.restart).
+	Restarts int64 `json:"restarts"`
+
+	// Recoveries and Rejoins count journal recoveries and recovered
+	// processes that completed a round again.
+	Recoveries int64 `json:"recoveries"`
+	Rejoins    int64 `json:"rejoins"`
+
+	// ReplayedRounds totals journal rounds restored at recovery;
+	// LostRecords totals journal records destroyed by crashes.
+	ReplayedRounds int64 `json:"replayed_rounds"`
+	LostRecords    int64 `json:"lost_records"`
+
+	// Checkpoints, CheckpointBytes and CheckpointNanos count engine
+	// snapshots and their cumulative size and latency.
+	Checkpoints     int64 `json:"checkpoints"`
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	CheckpointNanos int64 `json:"checkpoint_ns"`
+
+	// Resumes counts WAL-backed engine resumptions; SnapshotResumes the
+	// subset that restored from a snapshot instead of replaying;
+	// ResumeReplayedRounds the rounds replayed; TruncatedBytes the torn
+	// WAL tail bytes discarded across resumes.
+	Resumes              int64 `json:"resumes"`
+	SnapshotResumes      int64 `json:"snapshot_resumes"`
+	ResumeReplayedRounds int64 `json:"resume_replayed_rounds"`
+	TruncatedBytes       int64 `json:"truncated_bytes"`
+}
+
+func (r RecoverySnapshot) empty() bool { return r == RecoverySnapshot{} }
+
 // NewMetrics returns an empty Metrics.
 func NewMetrics() *Metrics {
 	m := &Metrics{}
@@ -78,6 +114,7 @@ func (m *Metrics) reset() {
 	m.phaseCount = make(map[string]int64)
 	m.events = make(map[string]int64)
 	m.faults = FaultSnapshot{}
+	m.recovery = RecoverySnapshot{}
 }
 
 // Reset clears every counter and histogram.
@@ -184,8 +221,42 @@ func (m *Metrics) Event(kind string, r, p int, fields map[string]any) {
 		m.faults.GiveUps++
 	case "rlink.watchdog":
 		m.faults.WatchdogStalls++
+	case "msgnet.restart":
+		m.recovery.Restarts++
+	case "recovery.recover":
+		m.recovery.Recoveries++
+		m.recovery.ReplayedRounds += asInt64(fields["replayed_rounds"])
+		m.recovery.LostRecords += asInt64(fields["lost_records"])
+	case "recovery.rejoin":
+		m.recovery.Rejoins++
+	case "recovery.checkpoint":
+		m.recovery.Checkpoints++
+		m.recovery.CheckpointBytes += asInt64(fields["bytes"])
+		m.recovery.CheckpointNanos += asInt64(fields["nanos"])
+	case "recovery.resume":
+		m.recovery.Resumes++
+		m.recovery.ResumeReplayedRounds += asInt64(fields["replayed_rounds"])
+		m.recovery.TruncatedBytes += asInt64(fields["truncated_bytes"])
+		if asInt64(fields["from_snapshot"]) > 0 {
+			m.recovery.SnapshotResumes++
+		}
 	}
 	m.mu.Unlock()
+}
+
+// asInt64 widens the integer types event fields arrive as.
+func asInt64(v any) int64 {
+	switch n := v.(type) {
+	case int:
+		return int64(n)
+	case int64:
+		return n
+	case uint64:
+		return int64(n)
+	case float64:
+		return int64(n)
+	}
+	return 0
 }
 
 var _ Observer = (*Metrics)(nil)
@@ -239,6 +310,10 @@ type Snapshot struct {
 	// Faults aggregates injected faults and link recovery work; omitted
 	// when no fault or recovery event was observed.
 	Faults *FaultSnapshot `json:"faults,omitempty"`
+
+	// Recovery aggregates crash-recovery work (restarts, journal replays,
+	// checkpoints, WAL resumes); omitted when none was observed.
+	Recovery *RecoverySnapshot `json:"recovery,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the current state.
@@ -276,6 +351,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	if !m.faults.empty() {
 		f := m.faults
 		s.Faults = &f
+	}
+	if !m.recovery.empty() {
+		r := m.recovery
+		s.Recovery = &r
 	}
 	return s
 }

@@ -1,0 +1,367 @@
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/msgnet"
+	"repro/internal/obs"
+)
+
+// Config parameterises a supervised crash-and-recover execution.
+type Config struct {
+	// Net is the underlying scheduler configuration. Crash/Restart entries
+	// are the supervisor: a crashed process with a Restart entry is respawned
+	// that many steps later and takes the recovery path.
+	Net msgnet.Config
+
+	// Journals supplies one Journal per process; nil means fresh MemJournals.
+	Journals []Journal
+
+	// FlushEvery flushes buffered view records every k completed rounds
+	// (0 means 1 — flush after every round, no amnesia window). The view of
+	// the final round is always flushed before a decision, whatever k is.
+	FlushEvery int
+
+	// WatchdogSteps is the per-round receive deadline: a process that cannot
+	// assemble an n−f view within this many virtual steps gives the round up
+	// and skips forward. 0 means 2048.
+	WatchdogSteps int
+
+	// Proposals supplies the initial estimates; nil means proposal i = i.
+	Proposals []int
+
+	// AmnesiaBug plants the recovery bug this harness exists to catch: a
+	// recovered process trusts its un-flushed journal tail (state the crash
+	// destroyed) and decides from its last pre-crash view instead of
+	// abstaining. Audit flags every decision it produces.
+	AmnesiaBug bool
+}
+
+// Outcome reports a supervised crash-and-recover execution.
+type Outcome struct {
+	// Trace is the induced RRFD trace: Active at round r is the set of
+	// processes that completed r with a quorum view. It satisfies the
+	// structural invariants (core.Trace.Validate) but, unlike fail-stop
+	// traces, Active may re-grow when a process rejoins.
+	Trace *core.Trace
+
+	// Decisions maps each decided process to its decision. Honest processes
+	// decide min of their final-round quorum view; abstainers are absent.
+	Decisions map[core.PID]int
+
+	// Crashed and Restarted mirror msgnet.Outcome; Rejoined is the subset of
+	// restarted processes that completed at least one round after recovery.
+	Crashed, Restarted, Rejoined core.Set
+
+	// Replayed[p] is the number of journaled rounds process p restored at
+	// recovery; Lost[p] is the number of journal records its crash destroyed.
+	Replayed, Lost map[core.PID]int
+
+	// Journals are the per-process journals after the run, for audit.
+	Journals []Journal
+
+	// Proposals echoes the initial estimates (for validity checks).
+	Proposals []int
+
+	// Steps is the number of scheduled network operations.
+	Steps int
+
+	// Errs records per-process terminal errors (permanently crashed
+	// processes report msgnet.ErrCrashed).
+	Errs map[core.PID]error
+}
+
+type rmsg struct {
+	r   int
+	est int
+}
+
+type roundView struct {
+	view map[core.PID]int
+	d    core.Set
+}
+
+// procState is one process's cross-incarnation record. The crashed
+// incarnation is parked before its successor spawns, so there is no
+// concurrent access.
+type procState struct {
+	completed map[int]roundView
+	recovered bool
+	rejoined  bool
+	replayed  int
+	lost      int
+	decided   bool
+	decision  int
+}
+
+// RunRounds executes the n−f round protocol under crash-and-recover faults.
+// Every process journals with the write-ahead discipline (durable emit before
+// broadcast, batched views); a restarted incarnation recovers its estimate
+// from the durable journal, resumes after its last journaled round — never
+// re-emitting a round the network may already have seen — and catches up by
+// skipping rounds it can no longer complete. While it lags, it is simply
+// missing from the quorums its peers assemble: it re-enters via suspicion,
+// appearing in D(j,r) until it completes a round again.
+//
+// Decisions use the one-round quorum rule: a process decides min of its
+// final-round view iff it assembled that view, which bounds distinct
+// decisions by f+1 exactly as in the fail-stop analysis — recovery costs
+// liveness (an uncaught-up process abstains), never safety.
+func RunRounds(n, f, rounds int, cfg Config) (*Outcome, error) {
+	if n <= 0 || f < 0 || f >= n {
+		return nil, fmt.Errorf("recovery: invalid n=%d f=%d", n, f)
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("recovery: invalid rounds=%d", rounds)
+	}
+	journals := cfg.Journals
+	if journals == nil {
+		journals = make([]Journal, n)
+		for i := range journals {
+			journals[i] = NewMemJournal()
+		}
+	}
+	if len(journals) != n {
+		return nil, fmt.Errorf("recovery: %d journals for %d processes", len(journals), n)
+	}
+	proposals := cfg.Proposals
+	if proposals == nil {
+		proposals = make([]int, n)
+		for i := range proposals {
+			proposals[i] = i
+		}
+	}
+	if len(proposals) != n {
+		return nil, fmt.Errorf("recovery: %d proposals for %d processes", len(proposals), n)
+	}
+	flushEvery := cfg.FlushEvery
+	if flushEvery < 1 {
+		flushEvery = 1
+	}
+	watchdog := cfg.WatchdogSteps
+	if watchdog < 1 {
+		watchdog = 2048
+	}
+	var ob obs.Observer = obs.Base{}
+	if o := obs.Multi(cfg.Net.Observer); o != nil {
+		ob = o
+	}
+
+	procs := make([]*procState, n)
+	for i := range procs {
+		procs[i] = &procState{completed: make(map[int]roundView)}
+	}
+
+	out, err := msgnet.Run(n, cfg.Net, func(nd *msgnet.Node) (core.Value, error) {
+		me := procs[nd.Me]
+		j := journals[nd.Me]
+		est := proposals[nd.Me]
+		r := 1
+		var bugView map[core.PID]int
+
+		if nd.Incarnation > 1 {
+			// Recovery path. The honest order is crash-then-recover: the
+			// volatile tail is gone before we look. The planted bug peeks at
+			// the un-flushed state first and trusts it.
+			if cfg.AmnesiaBug {
+				stale, err := j.Unflushed()
+				if err != nil {
+					return nil, err
+				}
+				bugView = stale.LastView
+			}
+			before, err := j.Unflushed()
+			if err != nil {
+				return nil, err
+			}
+			if err := j.Crash(); err != nil {
+				return nil, err
+			}
+			st, err := j.Recover()
+			if err != nil {
+				return nil, err
+			}
+			me.recovered = true
+			me.replayed = st.Round
+			me.lost = before.Entries - st.Entries
+			if st.HasEst {
+				est = st.Est
+			}
+			r = st.Round + 1
+			ob.Event("recovery.recover", st.Round, int(nd.Me), map[string]any{
+				"replayed_rounds": st.Round,
+				"lost_records":    me.lost,
+				"resume_round":    r,
+			})
+		}
+
+		future := make(map[int]map[core.PID]int)
+		sinceFlush := 0
+		for r <= rounds {
+			// Durable emit before broadcast: a later incarnation resumes
+			// after this round and can never contradict this message.
+			if err := j.LogEmit(r, est); err != nil {
+				return nil, err
+			}
+			if err := nd.Broadcast(rmsg{r: r, est: est}); err != nil {
+				return nil, err
+			}
+			got := future[r]
+			if got == nil {
+				got = make(map[core.PID]int)
+			}
+			delete(future, r)
+			deadline := nd.Clock() + watchdog
+			timedOut := false
+			for len(got) < n-f {
+				env, ok, err := nd.RecvTimeout(deadline)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					timedOut = true
+					break
+				}
+				m, mok := env.Payload.(rmsg)
+				if !mok {
+					return nil, fmt.Errorf("recovery: foreign payload %T", env.Payload)
+				}
+				if m.est < est {
+					est = m.est // min-flood from any round, late or early
+				}
+				switch {
+				case m.r == r:
+					got[env.From] = m.est
+				case m.r > r: // early: buffer
+					if future[m.r] == nil {
+						future[m.r] = make(map[core.PID]int)
+					}
+					future[m.r][env.From] = m.est
+				default: // late: discard
+				}
+			}
+			if timedOut {
+				// The round cannot complete (peers moved on, or too many are
+				// down). Skip to the newest round the network is talking
+				// about; the skipped rounds keep us in our peers' D sets.
+				next := r + 1
+				for fr := range future {
+					if fr > next {
+						next = fr
+					}
+				}
+				r = next
+				continue
+			}
+			d := core.FullSet(n)
+			for p := range got {
+				d.Remove(p)
+			}
+			if err := j.LogView(r, got, d); err != nil {
+				return nil, err
+			}
+			sinceFlush++
+			// The final view must be durable before the decision it
+			// justifies — crash-recovery's log-before-act rule.
+			if sinceFlush >= flushEvery || r == rounds {
+				if err := j.Flush(); err != nil {
+					return nil, err
+				}
+				sinceFlush = 0
+			}
+			me.completed[r] = roundView{view: got, d: d}
+			if me.recovered && !me.rejoined {
+				me.rejoined = true
+				ob.Event("recovery.rejoin", r, int(nd.Me), map[string]any{
+					"round": r,
+				})
+			}
+			r++
+		}
+
+		if cfg.AmnesiaBug && bugView != nil {
+			// The planted bug: decide from the pre-crash un-logged view as
+			// if it were durable truth.
+			me.decided, me.decision = true, minOf(bugView)
+		} else if v, ok := me.completed[rounds]; ok {
+			me.decided, me.decision = true, minOf(v.view)
+		}
+		if me.decided {
+			return me.decision, nil
+		}
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Outcome{
+		Decisions: make(map[core.PID]int),
+		Crashed:   out.Crashed,
+		Restarted: out.Restarted,
+		Rejoined:  core.NewSet(n),
+		Replayed:  make(map[core.PID]int),
+		Lost:      make(map[core.PID]int),
+		Journals:  journals,
+		Proposals: proposals,
+		Steps:     out.Steps,
+		Errs:      out.Errs,
+	}
+	maxR := 0
+	for i, ps := range procs {
+		pid := core.PID(i)
+		if ps.decided {
+			res.Decisions[pid] = ps.decision
+		}
+		if ps.rejoined {
+			res.Rejoined.Add(pid)
+		}
+		if ps.recovered {
+			res.Replayed[pid] = ps.replayed
+			res.Lost[pid] = ps.lost
+		}
+		for r := range ps.completed {
+			if r > maxR {
+				maxR = r
+			}
+		}
+	}
+	res.Trace = core.NewTrace(n)
+	for r := 1; r <= maxR; r++ {
+		rec := core.RoundRecord{
+			R:        r,
+			Suspects: make([]core.Set, n),
+			Deliver:  make([]core.Set, n),
+			Active:   core.NewSet(n),
+			Crashed:  core.NewSet(n),
+		}
+		for i := 0; i < n; i++ {
+			pid := core.PID(i)
+			if rv, ok := procs[i].completed[r]; ok {
+				rec.Active.Add(pid)
+				rec.Suspects[i] = rv.d
+				rec.Deliver[i] = rv.d.Complement()
+			} else {
+				rec.Suspects[i] = core.NewSet(n)
+				rec.Deliver[i] = core.NewSet(n)
+				if out.Crashed.Has(pid) {
+					rec.Crashed.Add(pid)
+				}
+			}
+		}
+		res.Trace.Append(rec)
+	}
+	return res, nil
+}
+
+func minOf(view map[core.PID]int) int {
+	first := true
+	m := 0
+	for _, v := range view {
+		if first || v < m {
+			m, first = v, false
+		}
+	}
+	return m
+}

@@ -11,6 +11,24 @@ import (
 // run without exhausting the schedule space.
 var ErrExploreLimit = errors.New("swmr: schedule space not exhausted within limit")
 
+// NondeterministicReplayError is returned by Explore when replaying a
+// schedule prefix presented a different number of runnable options than the
+// recorded choice tree — i.e. run is not a deterministic function of the
+// scheduler's choices and the search results would be meaningless.
+type NondeterministicReplayError struct {
+	// Depth is the choice-tree depth at which replay diverged.
+	Depth int
+
+	// Want is the option count recorded when this node was first visited;
+	// Got is the count observed on replay.
+	Want, Got int
+}
+
+func (e *NondeterministicReplayError) Error() string {
+	return fmt.Sprintf("swmr: non-deterministic replay at depth %d: %d options recorded, %d on replay",
+		e.Depth, e.Want, e.Got)
+}
+
 // Explore model-checks a system over every possible scheduling of its
 // operations. run is invoked once per schedule with a replay Chooser and must
 // build a fresh system, execute it, and return an error to abort the search
@@ -29,21 +47,36 @@ func Explore(maxSchedules int, run func(ch Chooser) error) (int, error) {
 	schedules := 0
 	for {
 		depth := 0
+		var replayErr *NondeterministicReplayError
 		ch := func(step int, runnable []core.PID) int {
 			if depth == len(stack) {
 				stack = append(stack, frame{choice: 0, options: len(runnable)})
 			}
 			f := &stack[depth]
-			if f.options != len(runnable) {
+			if f.options != len(runnable) && replayErr == nil {
 				// The tree is deterministic given the prefix; a mismatch
-				// means run is not replayable.
-				panic(fmt.Sprintf("swmr: non-deterministic replay at depth %d: %d vs %d options",
-					depth, f.options, len(runnable)))
+				// means run is not replayable. The chooser cannot fail, so
+				// record the divergence and keep returning in-range choices
+				// until run comes back; Explore aborts then.
+				replayErr = &NondeterministicReplayError{
+					Depth: depth, Want: f.options, Got: len(runnable),
+				}
 			}
 			depth++
+			if replayErr != nil {
+				if f.choice < len(runnable) {
+					return f.choice
+				}
+				return 0
+			}
 			return f.choice
 		}
-		if err := run(ch); err != nil {
+		err := run(ch)
+		if replayErr != nil {
+			// The divergence invalidates whatever run reported.
+			return schedules, replayErr
+		}
+		if err != nil {
 			return schedules, err
 		}
 		schedules++

@@ -380,3 +380,27 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("expected error for n=0")
 	}
 }
+
+// TestExploreNondeterministicReplay: a run whose choice tree is not a
+// function of the scheduler's choices must surface a structured error, not a
+// panic, so callers can report which prefix diverged.
+func TestExploreNondeterministicReplay(t *testing.T) {
+	pids := []core.PID{0, 1, 2}
+	invocation := 0
+	_, err := Explore(100, func(ch Chooser) error {
+		invocation++
+		opts := 2
+		if invocation > 1 {
+			opts = 3 // the runnable set grew between replays
+		}
+		ch(0, pids[:opts])
+		return nil
+	})
+	var nde *NondeterministicReplayError
+	if !errors.As(err, &nde) {
+		t.Fatalf("err = %v, want NondeterministicReplayError", err)
+	}
+	if nde.Depth != 0 || nde.Want != 2 || nde.Got != 3 {
+		t.Fatalf("divergence %+v, want depth 0 with 2 recorded vs 3 observed", nde)
+	}
+}

@@ -4,6 +4,7 @@ package rrfd_test
 // exercised the way README.md documents it.
 
 import (
+	"errors"
 	"testing"
 
 	rrfd "repro"
@@ -248,6 +249,37 @@ func TestPublicAPIImplication(t *testing.T) {
 		return tr
 	}
 	if err := rrfd.Implies(gen, rrfd.SyncCrash(2), rrfd.SendOmission(2), 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIRecovery(t *testing.T) {
+	// Crash-recovery round protocol + audit through the facade.
+	out, err := rrfd.RecoveryRun(5, 1, 4, rrfd.RecoveryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rrfd.RecoveryAudit(out, 5, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointed engine run: kill at a round boundary, resume, finish.
+	dir := t.TempDir() + "/ck"
+	n := 5
+	inputs := []rrfd.Value{"a", "b", "c", "d", "e"}
+	oracle := func() rrfd.Oracle { return rrfd.SpareNeverSuspected(n, 2, 7) }
+	_, err = rrfd.Run(n, inputs, rrfd.RotatingCoordinator(), oracle(),
+		rrfd.WithCheckpointing(dir, rrfd.CheckpointOptions{Sync: rrfd.SyncAlways}),
+		rrfd.WithHaltAfterRound(1))
+	var halt *rrfd.HaltError
+	if !errors.As(err, &halt) {
+		t.Fatalf("want *HaltError, got %v", err)
+	}
+	res, err := rrfd.Resume(dir, rrfd.RotatingCoordinator(), oracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rrfd.ValidateAgreement(res, inputs, 1, n); err != nil {
 		t.Fatal(err)
 	}
 }
