@@ -4,11 +4,11 @@
 
 GO ?= go
 
-# Engine + agreement benchmarks tracked in BENCH_core.json.
-BENCH_PKGS := ./internal/core ./internal/agreement
+# Engine + agreement + chaos-campaign benchmarks tracked in BENCH_core.json.
+BENCH_PKGS := ./internal/core ./internal/agreement ./internal/chaos
 BENCH_PAT  ?= .
 
-.PHONY: build test race vet ci bench chaos-short chaos recovery-short
+.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,17 @@ chaos:
 	$(GO) run ./cmd/rrfdsim -chaos -n 8 -f 3 -k 4 -runs 200 -seed 5 \
 		-drop 0.4 -delay 0.4 -partition 0.4 -crashes 3
 
+# -count 3: the gate compares per-name ns/op minima, and min-of-3 irons
+# out scheduler and fsync noise that a single run leaves in.
+BENCH_COUNT ?= 3
+
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem $(BENCH_PKGS) \
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchstatjson -o BENCH_core.json
+
+# The regression gate: rerun the tracked benchmarks and diff against the
+# committed baseline; fails on >20% ns/op or allocs/op regressions. Refresh
+# the baseline with `make bench` when a perf change is intentional.
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchstatjson -compare BENCH_core.json

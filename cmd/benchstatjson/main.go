@@ -8,9 +8,18 @@
 // aggregated JSON to the -o file. Repeated runs of the same benchmark
 // (-count > 1) are aggregated into mean and min ns/op.
 //
+// With -compare FILE it becomes a regression gate instead: the fresh run on
+// stdin is diffed against the checked-in baseline JSON, and any benchmark
+// whose ns/op or allocs/op regressed beyond the thresholds fails the
+// invocation (exit 1). ns/op comparisons use the per-name minimum — the
+// least noisy statistic a short CI run produces. New and vanished benchmarks
+// are reported but do not fail the gate; refresh the baseline (make bench)
+// when coverage changes.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./internal/core | go run ./cmd/benchstatjson -o BENCH_core.json
+//	go test -run '^$' -bench . -benchmem ./internal/core | go run ./cmd/benchstatjson -compare BENCH_core.json
 package main
 
 import (
@@ -70,6 +79,9 @@ var extraStat = regexp.MustCompile(`(\d+(?:\.\d+)?) (\S+)`)
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output JSON file")
+	compareFile := flag.String("compare", "", "compare the fresh run against this baseline JSON instead of writing (exit 1 on regressions)")
+	nsThresh := flag.Float64("ns-threshold", 0.20, "compare: max tolerated ns/op regression as a fraction (0.20 = +20%)")
+	allocThresh := flag.Float64("allocs-threshold", 0.20, "compare: max tolerated allocs/op regression as a fraction")
 	flag.Parse()
 
 	results, err := parse(os.Stdin, os.Stdout)
@@ -81,6 +93,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchstatjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+
+	if *compareFile != "" {
+		raw, err := os.ReadFile(*compareFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var baseline File
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchstatjson: bad baseline %s: %v\n", *compareFile, err)
+			os.Exit(1)
+		}
+		regressions := compare(results, baseline, *nsThresh, *allocThresh, os.Stderr)
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchstatjson: %d regression(s) vs %s\n", regressions, *compareFile)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchstatjson: no regressions vs %s\n", *compareFile)
+		return
+	}
+
 	doc := File{
 		Goos:      runtime.GOOS,
 		Goarch:    runtime.GOARCH,
@@ -158,6 +191,53 @@ func parse(r io.Reader, echo io.Writer) ([]Result, error) {
 		out = append(out, *byName[name])
 	}
 	return out, nil
+}
+
+// compare diffs the fresh results against the baseline and writes one line
+// per benchmark to w. It returns the number of regressions: benchmarks
+// present in both whose ns/op minimum or allocs/op exceeded the baseline by
+// more than the given fractional thresholds. Benchmarks only in the fresh
+// run ("new") or only in the baseline ("vanished") are reported but never
+// counted — coverage changes are baseline refreshes, not regressions.
+func compare(fresh []Result, baseline File, nsThresh, allocThresh float64, w io.Writer) int {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	regressions := 0
+	seen := make(map[string]bool, len(fresh))
+	for _, f := range fresh {
+		seen[f.Name] = true
+		b, ok := base[f.Name]
+		if !ok {
+			fmt.Fprintf(w, "  new       %s: %.0f ns/op (no baseline)\n", f.Name, f.NsPerOpMin)
+			continue
+		}
+		status := "ok"
+		if b.NsPerOpMin > 0 {
+			if f.NsPerOpMin > b.NsPerOpMin*(1+nsThresh) {
+				status = "REGRESSED"
+				regressions++
+			}
+			fmt.Fprintf(w, "  %-9s %s: ns/op %.0f → %.0f (%+.1f%%, limit +%.0f%%)\n",
+				status, f.Name, b.NsPerOpMin, f.NsPerOpMin,
+				100*(f.NsPerOpMin-b.NsPerOpMin)/b.NsPerOpMin, 100*nsThresh)
+		}
+		if b.AllocsPerOp != nil && f.AllocsPerOp != nil {
+			ba, fa := *b.AllocsPerOp, *f.AllocsPerOp
+			if float64(fa) > float64(ba)*(1+allocThresh) {
+				regressions++
+				fmt.Fprintf(w, "  REGRESSED %s: allocs/op %d → %d (limit +%.0f%%)\n",
+					f.Name, ba, fa, 100*allocThresh)
+			}
+		}
+	}
+	for _, b := range baseline.Results {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "  vanished  %s: in baseline but not in this run\n", b.Name)
+		}
+	}
+	return regressions
 }
 
 // round2 is used by tests to compare floats tolerantly.

@@ -74,6 +74,68 @@ func TestParseNoBenchLines(t *testing.T) {
 	}
 }
 
+func intPtr(n int64) *int64 { return &n }
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	baseline := File{Results: []Result{
+		{Name: "A", NsPerOpMin: 1000, AllocsPerOp: intPtr(100)},
+		{Name: "B", NsPerOpMin: 1000, AllocsPerOp: intPtr(100)},
+		{Name: "C", NsPerOpMin: 1000},
+		{Name: "Gone", NsPerOpMin: 500},
+	}}
+	fresh := []Result{
+		{Name: "A", NsPerOpMin: 1100, AllocsPerOp: intPtr(110)}, // within +20%
+		{Name: "B", NsPerOpMin: 1500, AllocsPerOp: intPtr(100)}, // ns/op regressed
+		{Name: "C", NsPerOpMin: 900, AllocsPerOp: intPtr(5)},    // improved; no baseline allocs
+		{Name: "New", NsPerOpMin: 42},
+	}
+	var buf bytes.Buffer
+	got := compare(fresh, baseline, 0.20, 0.20, &buf)
+	if got != 1 {
+		t.Fatalf("regressions = %d, want 1 (B ns/op):\n%s", got, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED B", "new       New", "vanished  Gone"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	baseline := File{Results: []Result{
+		{Name: "A", NsPerOpMin: 1000, AllocsPerOp: intPtr(10)},
+	}}
+	fresh := []Result{
+		{Name: "A", NsPerOpMin: 1000, AllocsPerOp: intPtr(13)}, // +30% allocs
+	}
+	var buf bytes.Buffer
+	if got := compare(fresh, baseline, 0.20, 0.20, &buf); got != 1 {
+		t.Fatalf("regressions = %d, want 1 (allocs):\n%s", got, buf.String())
+	}
+	// Raising the alloc threshold clears it.
+	buf.Reset()
+	if got := compare(fresh, baseline, 0.20, 0.50, &buf); got != 0 {
+		t.Fatalf("regressions = %d, want 0 at +50%%:\n%s", got, buf.String())
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	baseline := File{Results: []Result{
+		{Name: "A", NsPerOpMin: 1000, AllocsPerOp: intPtr(10)},
+	}}
+	fresh := []Result{
+		{Name: "A", NsPerOpMin: 800, AllocsPerOp: intPtr(8)},
+	}
+	var buf bytes.Buffer
+	if got := compare(fresh, baseline, 0.20, 0.20, &buf); got != 0 {
+		t.Fatalf("regressions = %d, want 0:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "ok") {
+		t.Fatalf("clean run not reported ok:\n%s", buf.String())
+	}
+}
+
 func TestParseStripsGomaxprocsSuffixOnly(t *testing.T) {
 	// A name ending in a dash-number that is part of a sub-benchmark label
 	// (before the whitespace) must keep everything except the final

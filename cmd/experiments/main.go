@@ -7,6 +7,7 @@
 //	go run ./cmd/experiments -quick     # shrunken sweeps
 //	go run ./cmd/experiments -only E13  # a single experiment
 //	go run ./cmd/experiments -metrics   # engine metric summary per experiment
+//	go run ./cmd/experiments -workers 8 # fan seed sweeps over 8 workers
 package main
 
 import (
@@ -25,8 +26,15 @@ func main() {
 	quick := flag.Bool("quick", false, "run shrunken sweeps")
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E07)")
 	metrics := flag.Bool("metrics", false, "print an engine metrics summary after each experiment")
+	workers := flag.Int("workers", 0, "workers for experiment seed sweeps (0 = one per CPU, 1 = sequential)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -workers %d\n", *workers)
+		os.Exit(1)
+	}
+	rrfd.SetExperimentWorkers(*workers)
 
 	if *pprofAddr != "" {
 		go func() {

@@ -34,6 +34,7 @@
 //	go run ./cmd/rrfdsim -system s -n 6 -alg coordinator -trace
 //	go run ./cmd/rrfdsim -system snapshot -n 6 -f 2 -alg none -rounds 4
 //	go run ./cmd/rrfdsim -chaos -n 6 -f 2 -k 3 -runs 200 -drop 0.3 -seed 7
+//	go run ./cmd/rrfdsim -chaos -runs 500 -workers 8   # parallel, same output
 //	go run ./cmd/rrfdsim -chaos -runs 50 -drop 0.5 -partition 0.5 -crashes 2 -metrics
 //	go run ./cmd/rrfdsim -system crash -alg floodmin -checkpoint /tmp/ck -kill-after 2
 //	go run ./cmd/rrfdsim -system crash -alg floodmin -resume /tmp/ck
@@ -76,6 +77,7 @@ type config struct {
 
 	// chaos-mode flags
 	chaos     bool
+	workers   int
 	runs      int
 	drop      float64
 	dup       float64
@@ -108,6 +110,7 @@ func main() {
 	flag.StringVar(&cfg.resumeDir, "resume", "", "resume a journaled run from this directory (pass the original system/alg flags)")
 	flag.BoolVar(&cfg.chaosRecover, "chaos-recover", false, "run the crash-and-recover chaos campaign (crashes + supervised restarts + safety audit)")
 	flag.BoolVar(&cfg.chaos, "chaos", false, "run the randomized fault-injection campaign instead of a single execution")
+	flag.IntVar(&cfg.workers, "workers", 0, "chaos modes: concurrent runs (0 = one per CPU, 1 = sequential; output is identical either way)")
 	flag.IntVar(&cfg.runs, "runs", 0, "chaos: number of randomized executions (0 = 100)")
 	flag.Float64Var(&cfg.drop, "drop", 0, "chaos: per-message drop-rate bound (0 with all other rates 0 = 0.3)")
 	flag.Float64Var(&cfg.dup, "dup", 0, "chaos: per-message duplication-rate bound")
@@ -361,6 +364,7 @@ func runChaos(cfg config, w io.Writer) error {
 		MaxCrashes:    cfg.crashes,
 		WatchdogSteps: cfg.watchdog,
 		QuorumBug:     cfg.bug,
+		Workers:       cfg.workers,
 		Observer:      rrfd.MultiObserver(metrics, events),
 		Out:           w,
 	})
@@ -417,6 +421,7 @@ func runChaosRecover(cfg config, w io.Writer) error {
 		MaxCrashes:    cfg.crashes,
 		WatchdogSteps: cfg.watchdog,
 		AmnesiaBug:    cfg.bug,
+		Workers:       cfg.workers,
 		Observer:      rrfd.MultiObserver(metrics, events),
 		Out:           w,
 	})
@@ -454,6 +459,12 @@ func validate(cfg config) error {
 	}
 	if cfg.n <= 0 {
 		return fmt.Errorf("invalid process count %d", cfg.n)
+	}
+	if cfg.workers < 0 {
+		return fmt.Errorf("invalid worker count %d", cfg.workers)
+	}
+	if cfg.workers > 1 && !cfg.chaos && !cfg.chaosRecover {
+		return fmt.Errorf("-workers parallelizes campaign runs: add -chaos or -chaos-recover")
 	}
 	if cfg.chaos && (cfg.dumpTrace || cfg.outFile != "") {
 		return fmt.Errorf("-chaos runs many executions and records no single trace: drop -trace/-o")

@@ -229,6 +229,35 @@ func TestRunChaosMetricsAndEvents(t *testing.T) {
 	}
 }
 
+// TestRunChaosWorkersByteIdentical drives the -workers flag end to end:
+// the same campaign at workers=1 and workers=8 must print the same bytes.
+func TestRunChaosWorkersByteIdentical(t *testing.T) {
+	campaign := func(workers int) string {
+		cfg := config{n: 6, f: 2, k: 3, seed: 7, chaos: true, runs: 10,
+			drop: 0.3, workers: workers}
+		var out bytes.Buffer
+		if err := run(cfg, &out); err != nil {
+			t.Fatalf("workers=%d campaign errored: %v\n%s", workers, err, out.String())
+		}
+		return out.String()
+	}
+	want := campaign(1)
+	if got := campaign(8); got != want {
+		t.Fatalf("workers=8 output differs:\n%s\nvs workers=1:\n%s", got, want)
+	}
+}
+
+func TestValidateRejectsBadWorkers(t *testing.T) {
+	cfg := config{n: 6, chaos: true, workers: -1}
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -workers -1")
+	}
+	cfg = config{n: 6, workers: 8}
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -workers without a campaign mode")
+	}
+}
+
 func TestValidateRejectsChaosWithTrace(t *testing.T) {
 	cfg := config{n: 6, chaos: true, dumpTrace: true}
 	if err := validate(cfg); err == nil {

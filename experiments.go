@@ -15,3 +15,11 @@ type Experiment = exp.Runner
 func Experiments() []Experiment {
 	return exp.All()
 }
+
+// SetExperimentWorkers sets how many workers the experiments' seed sweeps
+// fan out over: n > 0 is used as given (1 forces sequential sweeps), 0 means
+// one worker per logical CPU. Tables are byte-identical for any worker count
+// — only wall-clock time changes.
+func SetExperimentWorkers(n int) {
+	exp.SetWorkers(n)
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/faultnet"
 	"repro/internal/msgnet"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/predicate"
 	"repro/internal/reliablelink"
 )
@@ -74,6 +75,15 @@ type Config struct {
 	// on sub-quorum views — so the harness can demonstrate that it catches
 	// an agreement bug. Never set outside tests and demos.
 	QuorumBug bool
+
+	// Workers bounds how many runs execute concurrently; 0 means one per
+	// logical CPU, 1 forces the sequential loop. Whatever the count, the
+	// summary and the Out stream are byte-identical to a sequential
+	// campaign: per-run seeds are pre-drawn in run order and results are
+	// aggregated in run order. Campaigns with an Observer run at
+	// Workers=1 regardless, so the observed event stream stays a
+	// deterministic function of the seed.
+	Workers int
 
 	// Observer, when non-nil, receives every substrate, fault and link
 	// event of the main executions (minimization replays are unobserved).
@@ -417,37 +427,74 @@ func Minimize(cfg Config, schedSeed int64, plan faultnet.Plan, crashes map[core.
 
 // Run executes the campaign: Runs randomized executions, each checked
 // against the safety invariants, each violation minimized and reported.
+//
+// Runs are fanned out over cfg.Workers goroutines (see Config.Workers);
+// each run is a pure function of its pre-drawn seeds, and aggregation
+// happens in run order, so the result is independent of the worker count.
 func Run(cfg Config) *Summary {
 	cfg = cfg.withDefaults()
 	sum := &Summary{Runs: cfg.Runs}
+
+	// Pre-draw every run's seeds sequentially from the campaign RNG, so
+	// run i consumes exactly the random stream it would in a sequential
+	// campaign, whatever order the workers execute in.
+	type runSeeds struct{ sched, plan int64 }
 	seeds := faultnet.NewRNG(cfg.Seed)
-	for run := 0; run < cfg.Runs; run++ {
-		schedSeed := int64(seeds.Intn(1<<30)) + 1
-		planSeed := int64(seeds.Intn(1<<30)) + 1
-		plan := RandomPlan(cfg, planSeed)
-		crashes := randomCrashes(cfg, planSeed)
+	draws := make([]runSeeds, cfg.Runs)
+	for i := range draws {
+		draws[i].sched = int64(seeds.Intn(1<<30)) + 1
+		draws[i].plan = int64(seeds.Intn(1<<30)) + 1
+	}
 
-		out, rep, decisions, err := Execute(cfg, schedSeed, plan, crashes)
-		sum.Decided += len(decisions)
+	workers := par.Workers(cfg.Workers)
+	if cfg.Observer != nil {
+		workers = 1 // serialize the observed event stream
+	}
+
+	type runOutcome struct {
+		decided, undecided               int
+		stalls, retransmissions, giveUps int
+		steps                            int
+		vs                               []Violation
+	}
+	outs, perr := par.Map(workers, cfg.Runs, func(run int) runOutcome {
+		plan := RandomPlan(cfg, draws[run].plan)
+		crashes := randomCrashes(cfg, draws[run].plan)
+
+		out, rep, decisions, err := Execute(cfg, draws[run].sched, plan, crashes)
+		oc := runOutcome{decided: len(decisions), undecided: cfg.N - len(decisions)}
 		if rep != nil {
-			sum.Stalls += len(rep.Stalls)
-			sum.Retransmissions += rep.Retransmissions
-			sum.GiveUps += rep.GiveUps
-			sum.Steps += rep.Steps
+			oc.stalls = len(rep.Stalls)
+			oc.retransmissions = rep.Retransmissions
+			oc.giveUps = rep.GiveUps
+			oc.steps = rep.Steps
 		}
-		sum.Undecided += cfg.N - len(decisions)
+		oc.vs = check(cfg, runResult{out, rep, err, decisions})
+		if len(oc.vs) == 0 {
+			return oc
+		}
+		min := Minimize(cfg, draws[run].sched, plan, crashes)
+		for i := range oc.vs {
+			oc.vs[i].Run = run
+			oc.vs[i].SchedSeed = draws[run].sched
+			oc.vs[i].Plan = plan
+			oc.vs[i].MinPlan = min
+			oc.vs[i].Crashes = crashes
+		}
+		return oc
+	})
+	if perr != nil {
+		panic(perr) // a panicking run would abort a sequential campaign too
+	}
 
-		vs := check(cfg, runResult{out, rep, err, decisions})
-		if len(vs) == 0 {
-			continue
-		}
-		min := Minimize(cfg, schedSeed, plan, crashes)
-		for _, v := range vs {
-			v.Run = run
-			v.SchedSeed = schedSeed
-			v.Plan = plan
-			v.MinPlan = min
-			v.Crashes = crashes
+	for _, oc := range outs {
+		sum.Decided += oc.decided
+		sum.Undecided += oc.undecided
+		sum.Stalls += oc.stalls
+		sum.Retransmissions += oc.retransmissions
+		sum.GiveUps += oc.giveUps
+		sum.Steps += oc.steps
+		for _, v := range oc.vs {
 			sum.Violations = append(sum.Violations, v)
 			if cfg.Out != nil {
 				fmt.Fprintf(cfg.Out, "%s\n", v)

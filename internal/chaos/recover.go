@@ -10,6 +10,7 @@ import (
 	"repro/internal/faultnet"
 	"repro/internal/msgnet"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/recovery"
 )
 
@@ -62,6 +63,12 @@ type RecoverConfig struct {
 	// state) in every restarted process, to demonstrate the audit catches
 	// it. Never set outside tests and demos.
 	AmnesiaBug bool
+
+	// Workers bounds how many runs execute concurrently, with the same
+	// contract as Config.Workers: 0 means one per logical CPU, results are
+	// byte-identical to a sequential campaign, and an Observer forces
+	// Workers=1.
+	Workers int
 
 	// Observer, when non-nil, receives substrate and recovery events.
 	Observer obs.Observer
@@ -246,34 +253,74 @@ func checkRecover(cfg RecoverConfig, out *recovery.Outcome, err error) []Recover
 // RunRecover executes the crash-and-recover campaign: Runs seeded
 // executions, each with at least one crash, each audited. Violations carry
 // the full replay recipe.
+// RunRecover fans runs out over cfg.Workers goroutines the same way Run
+// does: seeds pre-drawn in run order, aggregation in run order, output
+// byte-identical for any worker count.
 func RunRecover(cfg RecoverConfig) *RecoverSummary {
 	cfg = cfg.withDefaults()
 	sum := &RecoverSummary{Runs: cfg.Runs}
+
+	type runSeeds struct{ sched, scen int64 }
 	seeds := faultnet.NewRNG(cfg.Seed)
-	for run := 0; run < cfg.Runs; run++ {
-		schedSeed := int64(seeds.Intn(1<<30)) + 1
-		scenSeed := int64(seeds.Intn(1<<30)) + 1
-		s := RandomRecoverScenario(cfg, scenSeed)
-		s.SchedSeed = schedSeed
+	draws := make([]runSeeds, cfg.Runs)
+	for i := range draws {
+		draws[i].sched = int64(seeds.Intn(1<<30)) + 1
+		draws[i].scen = int64(seeds.Intn(1<<30)) + 1
+	}
+
+	workers := par.Workers(cfg.Workers)
+	if cfg.Observer != nil {
+		workers = 1 // serialize the observed event stream
+	}
+
+	type runOutcome struct {
+		decided, undecided          int
+		crashes, restarts, rejoins  int
+		replayedRounds, lostRecords int
+		steps                       int
+		vs                          []RecoverViolation
+	}
+	outs, perr := par.Map(workers, cfg.Runs, func(run int) runOutcome {
+		s := RandomRecoverScenario(cfg, draws[run].scen)
+		s.SchedSeed = draws[run].sched
 
 		out, err := ExecuteRecover(cfg, s)
+		var oc runOutcome
 		if out != nil {
-			sum.Decided += len(out.Decisions)
-			sum.Undecided += cfg.N - len(out.Decisions)
-			sum.Crashes += out.Crashed.Count()
-			sum.Restarts += out.Restarted.Count()
-			sum.Rejoins += out.Rejoined.Count()
+			oc.decided = len(out.Decisions)
+			oc.undecided = cfg.N - len(out.Decisions)
+			oc.crashes = out.Crashed.Count()
+			oc.restarts = out.Restarted.Count()
+			oc.rejoins = out.Rejoined.Count()
 			for _, r := range out.Replayed {
-				sum.ReplayedRounds += r
+				oc.replayedRounds += r
 			}
 			for _, l := range out.Lost {
-				sum.LostRecords += l
+				oc.lostRecords += l
 			}
-			sum.Steps += out.Steps
+			oc.steps = out.Steps
 		}
-		for _, v := range checkRecover(cfg, out, err) {
-			v.Run = run
-			v.Scenario = s
+		oc.vs = checkRecover(cfg, out, err)
+		for i := range oc.vs {
+			oc.vs[i].Run = run
+			oc.vs[i].Scenario = s
+		}
+		return oc
+	})
+	if perr != nil {
+		panic(perr) // a panicking run would abort a sequential campaign too
+	}
+
+	for _, oc := range outs {
+		sum.Decided += oc.decided
+		sum.Undecided += oc.undecided
+		sum.Crashes += oc.crashes
+		sum.Restarts += oc.restarts
+		sum.Rejoins += oc.rejoins
+		sum.ReplayedRounds += oc.replayedRounds
+		sum.LostRecords += oc.lostRecords
+		sum.Steps += oc.steps
+		for _, v := range oc.vs {
 			sum.Violations = append(sum.Violations, v)
 			if cfg.Out != nil {
 				fmt.Fprintf(cfg.Out, "%s\n", v)

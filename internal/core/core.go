@@ -56,6 +56,12 @@ type Algorithm interface {
 	// guarantees S(i,r) ∪ D(i,r) = S (the sets may overlap: a suspected
 	// process's message may still arrive). It returns the decision value
 	// and true once the process commits to an output.
+	//
+	// msgs and suspects are engine-owned scratch, valid only for the
+	// duration of the call: the engine reuses both across processes and
+	// rounds. An implementation that retains either past its return must
+	// copy (clone the set, copy the map) — reading them during the call,
+	// including mutating suspects, is fine.
 	Deliver(r int, msgs map[PID]Message, suspects Set) (out Value, decided bool)
 }
 

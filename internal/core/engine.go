@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"repro/internal/obs"
@@ -212,7 +213,7 @@ func (e *execution) run(startRound int) (*Result, error) {
 	res, err := e.loop(startRound)
 	if e.ck != nil {
 		if err == nil {
-			if werr := e.ck.writeEnd(); werr != nil && err == nil {
+			if werr := e.ck.writeEnd(); werr != nil {
 				err = werr
 			}
 		}
@@ -224,6 +225,14 @@ func (e *execution) run(startRound int) (*Result, error) {
 }
 
 // loop is the lock-step round loop.
+//
+// The loop allocates per-execution scratch once and reuses it every round:
+// the emitted-message slice, the delivery map and suspect set handed to
+// Algorithm.Deliver (both engine-owned — see the Algorithm contract), the
+// deliver working set, and the plan-validation sets. Fresh sets are cloned
+// only into RoundRecord, and only when recording (trace or checkpoint) is
+// on, so an untraced run's round cost is dominated by the algorithm and the
+// oracle, not the engine.
 func (e *execution) loop(startRound int) (*Result, error) {
 	o, ob, now, res := e.o, e.ob, e.now, e.res
 	n, full := e.n, e.full
@@ -232,6 +241,20 @@ func (e *execution) loop(startRound int) (*Result, error) {
 	if o.maxWall > 0 {
 		wallStart = now()
 	}
+
+	// Phase timings cost two clock reads per phase; skip them when the
+	// attached observer declares it never consumes them (obs.Base and
+	// anything embedding it without overriding Phase). Phase hooks still
+	// fire, with a zero duration.
+	timed := ob != nil && obs.NeedsPhaseTimings(ob)
+
+	var (
+		msgs    = make([]Message, n)       // round-r emissions, indexed by PID
+		in      = make(map[PID]Message, n) // delivery map passed to Deliver
+		deliver = NewSet(n)                // S(p,r) working set
+		susp    = NewSet(n)                // D(p,r) copy passed to Deliver
+		vs      = newPlanScratch(n)        // validatePlan working sets
+	)
 
 	record := o.trace || e.ck != nil
 	for r := startRound; r <= o.maxRounds; r++ {
@@ -243,17 +266,23 @@ func (e *execution) loop(startRound int) (*Result, error) {
 		var phaseStart time.Time
 		if ob != nil {
 			ob.RoundStart(r, e.active.Count())
-			phaseStart = now()
+			if timed {
+				phaseStart = now()
+			}
 		}
 		plan := e.oracle.Plan(r, e.active)
 		if ob != nil {
-			ob.Phase(r, "plan", now().Sub(phaseStart))
+			var d time.Duration
+			if timed {
+				d = now().Sub(phaseStart)
+			}
+			ob.Phase(r, "plan", d)
 		}
-		if err := validatePlan(n, r, e.active, &plan); err != nil {
+		if err := validatePlanIn(n, r, e.active, &plan, vs); err != nil {
 			return nil, err
 		}
-		e.active = e.active.Diff(plan.Crashes)
-		res.Crashed = res.Crashed.Union(plan.Crashes)
+		e.active.DiffInto(plan.Crashes)
+		res.Crashed.UnionInto(plan.Crashes)
 		if ob != nil && !plan.Crashes.Empty() {
 			ob.Crash(r, observerInts(plan.Crashes))
 		}
@@ -262,10 +291,10 @@ func (e *execution) loop(startRound int) (*Result, error) {
 			return res, fmt.Errorf("core: all processes crashed at round %d", r)
 		}
 
-		if ob != nil {
+		if timed {
 			phaseStart = now()
 		}
-		msgs := make([]Message, n)
+		clear(msgs)
 		e.active.ForEach(func(p PID) {
 			msgs[p] = e.procs[p].Emit(r)
 			if ob != nil {
@@ -273,8 +302,14 @@ func (e *execution) loop(startRound int) (*Result, error) {
 			}
 		})
 		if ob != nil {
-			ob.Phase(r, "emit", now().Sub(phaseStart))
-			phaseStart = now()
+			var d time.Duration
+			if timed {
+				d = now().Sub(phaseStart)
+			}
+			ob.Phase(r, "emit", d)
+			if timed {
+				phaseStart = now()
+			}
 		}
 
 		var rec RoundRecord
@@ -290,14 +325,15 @@ func (e *execution) loop(startRound int) (*Result, error) {
 
 		var deliverErr error
 		e.active.ForEach(func(p PID) {
-			deliver := plan.deliverSet(p, e.active)
-			if !deliver.Union(plan.Suspects[p]).Equal(full) {
+			plan.deliverSetInto(&deliver, p, e.active)
+			if !deliver.UnionEquals(plan.Suspects[p], full) {
 				deliverErr = &PlanError{Round: r, Proc: p, Reason: "S(i,r) ∪ D(i,r) ≠ S"}
 				return
 			}
-			in := make(map[PID]Message, deliver.Count())
+			clear(in)
 			deliver.ForEach(func(q PID) { in[q] = msgs[q] })
-			out, decided := e.procs[p].Deliver(r, in, plan.Suspects[p].Clone())
+			susp.CopyFrom(plan.Suspects[p])
+			out, decided := e.procs[p].Deliver(r, in, susp)
 			if ob != nil {
 				ob.Suspect(r, int(p), observerInts(plan.Suspects[p]))
 				ob.Deliver(r, int(p), deliver.Count(), plan.Suspects[p].Count())
@@ -313,11 +349,15 @@ func (e *execution) loop(startRound int) (*Result, error) {
 			}
 			if record {
 				rec.Suspects[p] = plan.Suspects[p].Clone()
-				rec.Deliver[p] = deliver
+				rec.Deliver[p] = deliver.Clone()
 			}
 		})
 		if ob != nil {
-			ob.Phase(r, "deliver", now().Sub(phaseStart))
+			var d time.Duration
+			if timed {
+				d = now().Sub(phaseStart)
+			}
+			ob.Phase(r, "deliver", d)
 		}
 		if deliverErr != nil {
 			return nil, deliverErr
@@ -412,15 +452,47 @@ func (pl *RoundPlan) deliverSet(p PID, active Set) Set {
 	return active.Diff(pl.Suspects[p])
 }
 
+// deliverSetInto is deliverSet into caller-owned storage: it overwrites dst
+// with S(p,r) without allocating.
+func (pl *RoundPlan) deliverSetInto(dst *Set, p PID, active Set) {
+	if pl.Deliver != nil && pl.Deliver[p].words != nil {
+		dst.CopyFrom(pl.Deliver[p])
+		return
+	}
+	dst.CopyFrom(active)
+	dst.DiffInto(pl.Suspects[p])
+}
+
+// planScratch is the working storage validatePlanIn reuses across rounds.
+// empty is handed out as the normalized Crashes set of plans that carry
+// none, so it must never be mutated.
+type planScratch struct {
+	full, live, dead, empty Set
+}
+
+func newPlanScratch(n int) *planScratch {
+	return &planScratch{full: FullSet(n), live: NewSet(n), dead: NewSet(n), empty: NewSet(n)}
+}
+
+// validatePlan checks and normalizes one round plan with fresh working
+// sets; the engine loop uses validatePlanIn with per-execution scratch.
 func validatePlan(n, r int, active Set, plan *RoundPlan) error {
+	return validatePlanIn(n, r, active, plan, newPlanScratch(n))
+}
+
+func validatePlanIn(n, r int, active Set, plan *RoundPlan, vs *planScratch) error {
 	if len(plan.Suspects) != n {
 		return &PlanError{Round: r, Proc: -1, Reason: fmt.Sprintf("plan has %d suspect sets, want %d", len(plan.Suspects), n)}
 	}
 	if plan.Crashes.words == nil {
-		plan.Crashes = NewSet(n)
+		plan.Crashes = vs.empty
 	}
-	live := active.Diff(plan.Crashes)
-	dead := FullSet(n).Diff(live)
+	live := vs.live
+	live.CopyFrom(active)
+	live.DiffInto(plan.Crashes)
+	dead := vs.dead
+	dead.CopyFrom(vs.full)
+	dead.DiffInto(live)
 	var err error
 	live.ForEach(func(p PID) {
 		if err != nil {
@@ -453,12 +525,17 @@ func validatePlan(n, r int, active Set, plan *RoundPlan) error {
 	return err
 }
 
+// allDecided reports whether every active process has decided, returning at
+// the first undecided one.
 func allDecided(active Set, decidedAt map[PID]int) bool {
-	done := true
-	active.ForEach(func(p PID) {
-		if _, ok := decidedAt[p]; !ok {
-			done = false
+	for wi, w := range active.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if _, ok := decidedAt[PID(wi*64+b)]; !ok {
+				return false
+			}
+			w &^= 1 << uint(b)
 		}
-	})
-	return done
+	}
+	return true
 }

@@ -134,6 +134,51 @@ func (s Set) Diff(t Set) Set {
 	return r
 }
 
+// CopyFrom overwrites s in place with the members of t. The receiver must
+// have been created over the same universe size as t (it reuses its own
+// word storage); it is the allocation-free counterpart of t.Clone().
+func (s *Set) CopyFrom(t Set) {
+	copy(s.words, t.words)
+	for i := len(t.words); i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// UnionInto grows s in place to s ∪ t: the allocation-free counterpart of
+// s = s.Union(t).
+func (s *Set) UnionInto(t Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] |= t.words[i]
+		}
+	}
+}
+
+// DiffInto shrinks s in place to s \ t: the allocation-free counterpart of
+// s = s.Diff(t).
+func (s *Set) DiffInto(t Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &^= t.words[i]
+		}
+	}
+}
+
+// UnionEquals reports whether s ∪ t = u without materializing the union.
+// The engine uses it to check the round invariant S(i,r) ∪ D(i,r) = S on
+// its hot path. All three sets must share a universe.
+func (s Set) UnionEquals(t, u Set) bool {
+	if s.n != u.n || t.n != u.n {
+		return false
+	}
+	for i := range u.words {
+		if s.words[i]|t.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Complement returns the processes of the universe not in s.
 func (s Set) Complement() Set {
 	return FullSet(s.n).Diff(s)

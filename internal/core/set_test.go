@@ -232,3 +232,72 @@ func TestSortPIDs(t *testing.T) {
 		t.Fatalf("SortPIDs = %v", ps)
 	}
 }
+
+func TestSetInPlaceOps(t *testing.T) {
+	// The in-place operations must agree with their pure counterparts on
+	// random sets over universes straddling word boundaries.
+	for _, n := range []int{1, 7, 64, 65, 130} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		for iter := 0; iter < 50; iter++ {
+			a, b := NewSet(n), NewSet(n)
+			for p := 0; p < n; p++ {
+				if rng.Intn(2) == 0 {
+					a.Add(PID(p))
+				}
+				if rng.Intn(2) == 0 {
+					b.Add(PID(p))
+				}
+			}
+
+			got := NewSet(n)
+			got.CopyFrom(a)
+			if !got.Equal(a) {
+				t.Fatalf("n=%d: CopyFrom: got %s want %s", n, got, a)
+			}
+			// CopyFrom must clear previous contents, not merge.
+			got.CopyFrom(b)
+			if !got.Equal(b) {
+				t.Fatalf("n=%d: CopyFrom did not overwrite: got %s want %s", n, got, b)
+			}
+
+			u := a.Clone()
+			u.UnionInto(b)
+			if want := a.Union(b); !u.Equal(want) {
+				t.Fatalf("n=%d: UnionInto: got %s want %s", n, u, want)
+			}
+
+			d := a.Clone()
+			d.DiffInto(b)
+			if want := a.Diff(b); !d.Equal(want) {
+				t.Fatalf("n=%d: DiffInto: got %s want %s", n, d, want)
+			}
+
+			full := FullSet(n)
+			if got, want := a.UnionEquals(b, full), a.Union(b).Equal(full); got != want {
+				t.Fatalf("n=%d: UnionEquals(full) = %v, Union.Equal = %v (a=%s b=%s)", n, got, want, a, b)
+			}
+			if got, want := a.UnionEquals(b, b), a.Union(b).Equal(b); got != want {
+				t.Fatalf("n=%d: UnionEquals(b) = %v, Union.Equal = %v (a=%s b=%s)", n, got, want, a, b)
+			}
+		}
+	}
+}
+
+func TestSetInPlaceOpsDoNotTouchOperand(t *testing.T) {
+	a := SetOf(70, 1, 64, 69)
+	b := SetOf(70, 1, 5, 64)
+	bBefore := b.Clone()
+	x := a.Clone()
+	x.UnionInto(b)
+	x.CopyFrom(a)
+	x.DiffInto(b)
+	if !b.Equal(bBefore) {
+		t.Fatalf("operand mutated: %s -> %s", bBefore, b)
+	}
+}
+
+func TestUnionEqualsMismatchedUniverse(t *testing.T) {
+	if SetOf(4, 0).UnionEquals(SetOf(4, 1), FullSet(5)) {
+		t.Fatal("mismatched universes reported equal")
+	}
+}

@@ -30,70 +30,84 @@ func X04Ablations(quick bool) (*Table, error) {
 		Columns: []string{"ablation", "search", "witnesses", "result"},
 	}
 
+	// The two exhaustive searches are independent, so they fan out like a
+	// two-seed sweep. Each returns (search-space size, witness count).
+	type ablStat struct{ space, hits int }
+
 	// 1. One-phase adopt-commit breaks agreement. The witness shape:
 	// p0 collects {1,⊥} and commits 1 while p1 collects {1,2} and adopts
 	// its own 2.
-	violations := 0
-	schedules := 0
-	count, err := swmr.Explore(100000, func(ch swmr.Chooser) error {
-		inputs := []core.Value{1, 2}
-		res, err := swmr.Run(2, swmr.Config{Chooser: ch}, func(p *swmr.Proc) (core.Value, error) {
-			return onePhaseAdoptCommit(p, inputs[p.Me])
-		})
-		if err != nil {
-			return err
-		}
-		var committed core.Value
-		hasCommit := false
-		for _, v := range res.Values {
-			o := v.(onePhaseOutcome)
-			if o.commit {
-				hasCommit, committed = true, o.value
+	onePhase := func() (ablStat, error) {
+		violations := 0
+		count, err := swmr.Explore(100000, func(ch swmr.Chooser) error {
+			inputs := []core.Value{1, 2}
+			res, err := swmr.Run(2, swmr.Config{Chooser: ch}, func(p *swmr.Proc) (core.Value, error) {
+				return onePhaseAdoptCommit(p, inputs[p.Me])
+			})
+			if err != nil {
+				return err
 			}
-		}
-		if hasCommit {
+			var committed core.Value
+			hasCommit := false
 			for _, v := range res.Values {
-				if v.(onePhaseOutcome).value != committed {
-					violations++
-					break
+				o := v.(onePhaseOutcome)
+				if o.commit {
+					hasCommit, committed = true, o.value
 				}
 			}
+			if hasCommit {
+				for _, v := range res.Values {
+					if v.(onePhaseOutcome).value != committed {
+						violations++
+						break
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, swmr.ErrExploreLimit) {
+			return ablStat{}, err
 		}
-		return nil
-	})
-	if err != nil && !errors.Is(err, swmr.ErrExploreLimit) {
-		return nil, err
+		return ablStat{space: count, hits: violations}, nil
 	}
-	schedules = count
-	t.AddRow("adopt-commit without phase 2", fmt.Sprintf("exhaustive, %d schedules", schedules),
-		violations, verdict(violations > 0))
 
 	// 2. Theorem 3.1's bound is tight: under detector budget k+1 the
 	// algorithm must fail somewhere. Exhaustive over n=3, k=1: find a
 	// KSetDetector(2) trace with 2 distinct outputs (> k = 1).
-	n, k := 3, 1
-	loose := predicate.KSetDetector(k + 1)
-	strict := predicate.KSetDetector(k)
-	witnesses := 0
-	err = predicate.ExhaustiveTraces(n, 1, func(tr *core.Trace) error {
-		if loose.Check(tr) != nil || strict.Check(tr) == nil {
-			return nil // outside the loosened-but-not-strict band
-		}
-		res, err := core.Run(n, identityInputs(n), agreement.OneRoundKSet(),
-			core.TraceOracle(tr), core.WithoutTrace())
+	looseDetector := func() (ablStat, error) {
+		n, k := 3, 1
+		loose := predicate.KSetDetector(k + 1)
+		strict := predicate.KSetDetector(k)
+		witnesses := 0
+		err := predicate.ExhaustiveTraces(n, 1, func(tr *core.Trace) error {
+			if loose.Check(tr) != nil || strict.Check(tr) == nil {
+				return nil // outside the loosened-but-not-strict band
+			}
+			res, err := core.Run(n, identityInputs(n), agreement.OneRoundKSet(),
+				core.TraceOracle(tr), core.WithoutTrace())
+			if err != nil {
+				return err
+			}
+			if res.DistinctOutputs() > k {
+				witnesses++
+			}
+			return nil
+		})
 		if err != nil {
-			return err
+			return ablStat{}, err
 		}
-		if res.DistinctOutputs() > k {
-			witnesses++
-		}
-		return nil
-	})
+		return ablStat{space: 343, hits: witnesses}, nil
+	}
+
+	searches := []func() (ablStat, error){onePhase, looseDetector}
+	rs, err := sweep(len(searches), func(i int) (ablStat, error) { return searches[i]() })
 	if err != nil {
 		return nil, err
 	}
+	t.AddRow("adopt-commit without phase 2", fmt.Sprintf("exhaustive, %d schedules", rs[0].space),
+		rs[0].hits, verdict(rs[0].hits > 0))
 	t.AddRow("one-round k-set with detector bound k+1", "exhaustive n=3, 343 traces",
-		witnesses, verdict(witnesses > 0))
+		rs[1].hits, verdict(rs[1].hits > 0))
 
 	// 3 and 4 live where their machinery is; record the pointers.
 	t.AddRow("FloodMin one round short", "see E13", "k+1 values", "ok")

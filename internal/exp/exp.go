@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/predicate"
 )
 
@@ -164,4 +166,29 @@ func seedsFor(quick bool, full int) int {
 		return full
 	}
 	return full
+}
+
+// sweepWorkers is the worker count every experiment seed sweep fans out
+// over; see SetWorkers.
+var sweepWorkers atomic.Int32
+
+// SetWorkers sets how many workers the experiment seed sweeps use: n > 0
+// is used as given (1 forces sequential sweeps), anything else means one
+// worker per logical CPU. Tables are byte-identical for any worker count —
+// seeds are fixed per index and rows are reduced in seed order — so this
+// only changes wall-clock time.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sweepWorkers.Store(int32(n))
+}
+
+// sweep runs body(seed) for seed = 0..seeds-1 across the configured
+// workers and returns the per-seed results in seed order (the lowest-seed
+// error wins, like a sequential loop's early return). Each body call must
+// derive all randomness from its seed; reductions over the returned slice
+// stay in the caller, which keeps every table independent of scheduling.
+func sweep[T any](seeds int, body func(seed int) (T, error)) ([]T, error) {
+	return par.Sweep(int(sweepWorkers.Load()), seeds, body)
 }

@@ -36,23 +36,29 @@ func X01FullInformation(quick bool) (*Table, error) {
 	// FIFO reconstruction under eq. (3): every process's simulated
 	// reception log must be FIFO per link with faithful payloads.
 	for _, tc := range []struct{ n, f int }{{4, 2}, {6, 3}} {
-		ok := true
-		for seed := 0; seed < seeds; seed++ {
+		rs, err := sweep(seeds, func(seed int) (bool, error) {
 			hist, _, err := view.RunHistory(tc.n, 6, inputs(tc.n),
 				adversary.AsyncBudget(tc.n, tc.f, true, int64(seed)))
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 			for p := core.PID(0); int(p) < tc.n; p++ {
 				log, err := view.ReconstructFIFO(p, hist[p])
 				if err != nil {
-					ok = false
-					continue
+					return false, nil
 				}
 				if view.CheckFIFO(log) != nil {
-					ok = false
+					return false, nil
 				}
 			}
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, r := range rs {
+			ok = ok && r
 		}
 		t.AddRow("A implements N (FIFO recreation)", tc.n, tc.f, seeds, verdict(ok))
 	}
@@ -60,19 +66,26 @@ func X01FullInformation(quick bool) (*Table, error) {
 	// Emulated write under eqs. (3)+(4): completion happens and the
 	// subsequent-round visibility claim holds for every writer.
 	for _, tc := range []struct{ n, f int }{{5, 2}, {7, 3}} {
-		ok := true
-		for seed := 0; seed < seeds; seed++ {
+		rs, err := sweep(seeds, func(seed int) (bool, error) {
 			hist, _, err := view.RunHistory(tc.n, tc.n+2, inputs(tc.n),
 				adversary.SharedMem(tc.n, tc.f, int64(seed)))
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 			for w := core.PID(0); int(w) < tc.n; w++ {
 				em, err := view.EmulateWrite(tc.n, w, hist)
 				if err != nil || em.CompleteRound == 0 {
-					ok = false
+					return false, nil
 				}
 			}
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, r := range rs {
+			ok = ok && r
 		}
 		t.AddRow("emulated write (eqs. 3+4)", tc.n, tc.f, seeds, verdict(ok))
 	}
@@ -106,15 +119,19 @@ func X02ImmediateSnapshot(quick bool) (*Table, error) {
 	seeds := seedsFor(quick, 20)
 
 	for _, n := range []int{3, 5, 8} {
-		ok := true
-		for seed := 0; seed < seeds; seed++ {
+		rs, err := sweep(seeds, func(seed int) (bool, error) {
 			out, err := immediate.RunRounds(n, 3, swmr.Config{Chooser: swmr.Seeded(int64(seed))}, nil)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			if predicate.ImmediateSnapshot(n).Check(out.Trace) != nil {
-				ok = false
-			}
+			return predicate.ImmediateSnapshot(n).Check(out.Trace) == nil, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, r := range rs {
+			ok = ok && r
 		}
 		t.AddRow("IIS rounds satisfy the predicate", n, seeds, verdict(ok))
 	}
@@ -151,9 +168,11 @@ func X03ABDRegister(quick bool) (*Table, error) {
 	for _, tc := range []struct{ n, f, crashes int }{
 		{3, 1, 0}, {5, 2, 0}, {5, 2, 2}, {7, 3, 2},
 	} {
-		ok := true
-		ops := 0
-		for seed := 0; seed < seeds; seed++ {
+		type abdStat struct {
+			ok  bool
+			ops int
+		}
+		rs, err := sweep(seeds, func(seed int) (abdStat, error) {
 			cfg := msgnet.Config{Chooser: msgnet.Seeded(int64(seed))}
 			if tc.crashes > 0 {
 				cfg.Crash = map[core.PID]int{}
@@ -178,12 +197,21 @@ func X03ABDRegister(quick bool) (*Table, error) {
 				return nil
 			})
 			if err != nil {
-				return nil, err
+				return abdStat{}, err
 			}
-			if abd.CheckAtomic(out.Log) != nil {
-				ok = false
-			}
-			ops += len(out.Log)
+			return abdStat{
+				ok:  abd.CheckAtomic(out.Log) == nil,
+				ops: len(out.Log),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		ops := 0
+		for _, s := range rs {
+			ok = ok && s.ok
+			ops += s.ops
 		}
 		t.AddRow(tc.n, tc.f, tc.crashes, seeds, ops, verdict(ok))
 	}

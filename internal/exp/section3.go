@@ -32,20 +32,31 @@ func E06ConsensusS(quick bool) (*Table, error) {
 		Columns: []string{"source", "n", "seeds", "agreement", "max round"},
 	}
 	seeds := seedsFor(quick, 20)
+	type seedStat struct {
+		ok       bool
+		maxRound int
+	}
 	for _, n := range []int{4, 7, 10} {
-		ok, maxRound := true, 0
-		for seed := 0; seed < seeds; seed++ {
+		rs, err := sweep(seeds, func(seed int) (seedStat, error) {
 			spare := core.PID(seed % n)
 			res, err := core.Run(n, identityInputs(n), agreement.RotatingCoordinator(),
 				adversary.SpareNeverSuspected(n, spare, int64(seed)))
 			if err != nil {
-				return nil, err
+				return seedStat{}, err
 			}
-			if agreement.Validate(res, identityInputs(n), 1, n) != nil {
-				ok = false
-			}
-			if r := res.MaxDecisionRound(); r > maxRound {
-				maxRound = r
+			return seedStat{
+				ok:       agreement.Validate(res, identityInputs(n), 1, n) == nil,
+				maxRound: res.MaxDecisionRound(),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok, maxRound := true, 0
+		for _, s := range rs {
+			ok = ok && s.ok
+			if s.maxRound > maxRound {
+				maxRound = s.maxRound
 			}
 		}
 		t.AddRow("RRFD adversary", n, seeds, verdict(ok), maxRound)
@@ -54,26 +65,33 @@ func E06ConsensusS(quick bool) (*Table, error) {
 	// item-6 construction: D(i,r) is the detector output that lets p_i
 	// finish round r).
 	for _, n := range []int{4, 7} {
-		ok, maxRound := true, 0
-		for seed := 0; seed < seeds; seed++ {
+		rs, err := sweep(seeds, func(seed int) (seedStat, error) {
 			spare := core.PID(seed % n)
 			base, err := core.CollectTrace(n, n, adversary.SpareNeverSuspected(n, spare, int64(seed)+999))
 			if err != nil {
-				return nil, err
+				return seedStat{}, err
 			}
 			h := detector.FromTrace(base)
 			if err := h.CheckWeakAccuracy(); err != nil {
-				return nil, err
+				return seedStat{}, err
 			}
 			res, err := core.Run(n, identityInputs(n), agreement.RotatingCoordinator(), detector.Oracle(h))
 			if err != nil {
-				return nil, err
+				return seedStat{}, err
 			}
-			if agreement.Validate(res, identityInputs(n), 1, n) != nil {
-				ok = false
-			}
-			if r := res.MaxDecisionRound(); r > maxRound {
-				maxRound = r
+			return seedStat{
+				ok:       agreement.Validate(res, identityInputs(n), 1, n) == nil,
+				maxRound: res.MaxDecisionRound(),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok, maxRound := true, 0
+		for _, s := range rs {
+			ok = ok && s.ok
+			if s.maxRound > maxRound {
+				maxRound = s.maxRound
 			}
 		}
 		t.AddRow("classical S history", n, seeds, verdict(ok), maxRound)
@@ -85,18 +103,22 @@ func E06ConsensusS(quick bool) (*Table, error) {
 	for _, n := range []int{5, 7} {
 		f := (n - 1) / 2
 		stab := 6
-		ok := true
-		for seed := 0; seed < seeds; seed++ {
+		rs, err := sweep(seeds, func(seed int) (bool, error) {
 			spare := core.PID(seed % n)
 			res, err := core.Run(n, identityInputs(n), agreement.PhasedConsensus(),
 				adversary.EventuallySpare(n, f, stab, spare, int64(seed)),
 				core.WithMaxRounds(stab+3*(n+2)))
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			if agreement.Validate(res, identityInputs(n), 1, 0) != nil {
-				ok = false
-			}
+			return agreement.Validate(res, identityInputs(n), 1, 0) == nil, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, s := range rs {
+			ok = ok && s
 		}
 		t.AddRow("eventual-S, phased consensus", n, seeds, verdict(ok), stab+3*(n+2))
 	}
@@ -118,21 +140,33 @@ func E07OneRoundKSet(quick bool) (*Table, error) {
 	for _, tc := range []struct{ n, k int }{
 		{6, 1}, {8, 2}, {12, 3}, {16, 4}, {24, 6}, {32, 8},
 	} {
-		maxDistinct, rounds, ok := 0, 0, true
-		for seed := 0; seed < seeds; seed++ {
+		type kStat struct {
+			ok               bool
+			distinct, rounds int
+		}
+		rs, err := sweep(seeds, func(seed int) (kStat, error) {
 			res, err := core.Run(tc.n, identityInputs(tc.n), agreement.OneRoundKSet(),
 				adversary.KSetUncertainty(tc.n, tc.k, int64(seed)))
 			if err != nil {
-				return nil, err
+				return kStat{}, err
 			}
-			if agreement.Validate(res, identityInputs(tc.n), tc.k, 1) != nil {
-				ok = false
+			return kStat{
+				ok:       agreement.Validate(res, identityInputs(tc.n), tc.k, 1) == nil,
+				distinct: res.DistinctOutputs(),
+				rounds:   res.Rounds,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxDistinct, rounds, ok := 0, 0, true
+		for _, s := range rs {
+			ok = ok && s.ok
+			if s.distinct > maxDistinct {
+				maxDistinct = s.distinct
 			}
-			if d := res.DistinctOutputs(); d > maxDistinct {
-				maxDistinct = d
-			}
-			if res.Rounds > rounds {
-				rounds = res.Rounds
+			if s.rounds > rounds {
+				rounds = s.rounds
 			}
 		}
 		t.AddRow(tc.n, tc.k, seeds, maxDistinct, tc.k, rounds, verdict(ok))
@@ -178,9 +212,8 @@ func E08KSetSharedMem(quick bool) (*Table, error) {
 	}
 	seeds := seedsFor(quick, 40)
 	for _, tc := range []struct{ n, k int }{{5, 1}, {6, 2}, {8, 3}, {9, 4}} {
-		maxDistinct, ok := 0, true
 		crashes := tc.k - 1
-		for seed := 0; seed < seeds; seed++ {
+		rs, err := sweep(seeds, func(seed int) (int, error) {
 			cfg := swmr.Config{Chooser: swmr.Seeded(int64(seed))}
 			if crashes > 0 {
 				cfg.Crash = map[core.PID]int{}
@@ -194,10 +227,10 @@ func E08KSetSharedMem(quick bool) (*Table, error) {
 			}
 			out, err := snapshot.RunRounds(tc.n, crashes, 1, cfg, emit)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			distinct := make(map[core.Value]bool)
-			for pid, views := range out.Views {
+			for _, views := range out.Views {
 				if len(views) < 1 {
 					continue // crashed before completing the round
 				}
@@ -209,13 +242,19 @@ func E08KSetSharedMem(quick bool) (*Table, error) {
 					}
 				}
 				distinct[views[0][best]] = true
-				_ = pid
 			}
-			if len(distinct) > tc.k {
+			return len(distinct), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxDistinct, ok := 0, true
+		for _, d := range rs {
+			if d > tc.k {
 				ok = false
 			}
-			if len(distinct) > maxDistinct {
-				maxDistinct = len(distinct)
+			if d > maxDistinct {
+				maxDistinct = d
 			}
 		}
 		t.AddRow(tc.n, tc.k, crashes, seeds, maxDistinct, verdict(ok))
@@ -236,20 +275,31 @@ func E09DetectorFromKSet(quick bool) (*Table, error) {
 	}
 	seeds := seedsFor(quick, 25)
 	for _, tc := range []struct{ n, k int }{{4, 1}, {5, 2}, {7, 3}} {
-		maxUnc, ok := 0, true
-		for seed := 0; seed < seeds; seed++ {
+		type uncStat struct {
+			ok     bool
+			maxUnc int
+		}
+		rs, err := sweep(seeds, func(seed int) (uncStat, error) {
 			tr, err := DetectorFromKSet(tc.n, tc.k, 3, swmr.Config{Chooser: swmr.Seeded(int64(seed))})
 			if err != nil {
-				return nil, err
+				return uncStat{}, err
 			}
-			if predicate.KSetDetector(tc.k).Check(tr) != nil {
-				ok = false
-			}
+			s := uncStat{ok: predicate.KSetDetector(tc.k).Check(tr) == nil}
 			for r := 1; r <= tr.Len(); r++ {
-				unc := tr.SuspectUnion(r).Diff(tr.SuspectIntersection(r)).Count()
-				if unc > maxUnc {
-					maxUnc = unc
+				if unc := tr.SuspectUnion(r).Diff(tr.SuspectIntersection(r)).Count(); unc > s.maxUnc {
+					s.maxUnc = unc
 				}
+			}
+			return s, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxUnc, ok := 0, true
+		for _, s := range rs {
+			ok = ok && s.ok
+			if s.maxUnc > maxUnc {
+				maxUnc = s.maxUnc
 			}
 		}
 		t.AddRow(tc.n, tc.k, 3, seeds, maxUnc, verdict(ok && maxUnc < tc.k))

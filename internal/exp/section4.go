@@ -27,21 +27,32 @@ func E10OmissionSim(quick bool) (*Table, error) {
 		{6, 3, 1}, {8, 4, 2}, {8, 5, 2}, {10, 6, 3}, {12, 9, 3},
 	} {
 		rounds := tc.f / tc.k
-		maxCum, ok := 0, true
-		for seed := 0; seed < seeds; seed++ {
+		type simStat struct {
+			ok  bool
+			cum int
+		}
+		rs, err := sweep(seeds, func(seed int) (simStat, error) {
 			base, err := core.CollectTrace(tc.n, rounds+2, adversary.SnapshotChain(tc.n, tc.k, int64(seed)))
 			if err != nil {
-				return nil, err
+				return simStat{}, err
 			}
 			sim, err := simulate.OmissionPrefix(base, tc.f, tc.k)
 			if err != nil {
-				return nil, err
+				return simStat{}, err
 			}
-			if predicate.SendOmission(tc.f).Check(sim) != nil {
-				ok = false
-			}
-			if c := sim.CumulativeSuspects(sim.Len()).Count(); c > maxCum {
-				maxCum = c
+			return simStat{
+				ok:  predicate.SendOmission(tc.f).Check(sim) == nil,
+				cum: sim.CumulativeSuspects(sim.Len()).Count(),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxCum, ok := 0, true
+		for _, s := range rs {
+			ok = ok && s.ok
+			if s.cum > maxCum {
+				maxCum = s.cum
 			}
 		}
 		t.AddRow(tc.n, tc.f, tc.k, rounds, seeds, maxCum, verdict(ok && maxCum <= tc.f))
@@ -81,11 +92,16 @@ func E11AdoptCommit(quick bool) (*Table, error) {
 		return checkACProperties(inputs, outs)
 	}
 
-	// Exhaustive, two processes, contested inputs, every crash point.
+	// Exhaustive, two processes, contested inputs, every crash point. The
+	// eight crash points are independent state-space explorations, so they
+	// fan out like a seed sweep (index i is crash point i-1).
 	inputs := []core.Value{1, 2}
-	total := 0
-	violations := 0
-	for crashAt := -1; crashAt <= 6; crashAt++ {
+	type exploreStat struct {
+		count    int
+		violated bool
+	}
+	exps, err := sweep(8, func(i int) (exploreStat, error) {
+		crashAt := i - 1
 		cfg := swmr.Config{}
 		if crashAt >= 0 {
 			cfg.Crash = map[core.PID]int{0: crashAt}
@@ -95,23 +111,39 @@ func E11AdoptCommit(quick bool) (*Table, error) {
 			c.Chooser = ch
 			return check(inputs, c)
 		})
-		if err != nil && !errors.Is(err, swmr.ErrExploreLimit) {
+		return exploreStat{
+			count:    count,
+			violated: err != nil && !errors.Is(err, swmr.ErrExploreLimit),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total, violations := 0, 0
+	for _, e := range exps {
+		total += e.count
+		if e.violated {
 			violations++
 		}
-		total += count
 	}
 	t.AddRow("exhaustive n=2 (+crash sweep)", 2, total, violations, 2*2+2, verdict(violations == 0))
 
 	// Seeded sweeps for larger systems.
 	seeds := seedsFor(quick, 200)
 	for _, n := range []int{3, 4, 6} {
-		bad := 0
-		for seed := 0; seed < seeds; seed++ {
+		rs, err := sweep(seeds, func(seed int) (bool, error) {
 			in := make([]core.Value, n)
 			for i := range in {
 				in[i] = (seed + i*i) % 3
 			}
-			if err := check(in, swmr.Config{Chooser: swmr.Seeded(int64(seed))}); err != nil {
+			return check(in, swmr.Config{Chooser: swmr.Seeded(int64(seed))}) != nil, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bad := 0
+		for _, b := range rs {
+			if b {
 				bad++
 			}
 		}
@@ -171,9 +203,11 @@ func E12CrashSim(quick bool) (*Table, error) {
 		{5, 2, 2, 0}, {6, 4, 2, 0}, {6, 4, 2, 1}, {7, 3, 3, 2},
 	} {
 		rounds := tc.f / tc.k
-		traceOK, agreeOK := true, true
-		var steps int
-		for seed := 0; seed < seeds; seed++ {
+		type crashStat struct {
+			traceOK, agreeOK bool
+			steps            int
+		}
+		rs, err := sweep(seeds, func(seed int) (crashStat, error) {
 			cfg := swmr.Config{Chooser: swmr.Seeded(int64(seed))}
 			if tc.crashes > 0 {
 				cfg.Crash = map[core.PID]int{}
@@ -184,15 +218,23 @@ func E12CrashSim(quick bool) (*Table, error) {
 			res, err := simulate.CrashSync(tc.n, tc.f, tc.k, rounds, cfg,
 				agreement.FloodMin(rounds), identityInputs(tc.n))
 			if err != nil {
-				return nil, err
+				return crashStat{}, err
 			}
-			if predicate.SyncCrash(tc.f).Check(res.Result.Trace) != nil {
-				traceOK = false
-			}
-			if agreement.Validate(res.Result, identityInputs(tc.n), tc.k+1, rounds) != nil {
-				agreeOK = false
-			}
-			steps += res.Steps
+			return crashStat{
+				traceOK: predicate.SyncCrash(tc.f).Check(res.Result.Trace) == nil,
+				agreeOK: agreement.Validate(res.Result, identityInputs(tc.n), tc.k+1, rounds) == nil,
+				steps:   res.Steps,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		traceOK, agreeOK := true, true
+		var steps int
+		for _, s := range rs {
+			traceOK = traceOK && s.traceOK
+			agreeOK = agreeOK && s.agreeOK
+			steps += s.steps
 		}
 		t.AddRow(tc.n, tc.f, tc.k, rounds, tc.crashes, seeds,
 			verdict(traceOK), verdict(agreeOK), steps/(seeds*rounds))

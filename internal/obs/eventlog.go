@@ -161,6 +161,10 @@ func (l *EventLog) Phase(r int, phase string, d time.Duration) {
 	}{"phase", r, phase, int64(d)})
 }
 
+// NeedsPhaseTimings implements PhaseTimer: phase lines carry real
+// nanosecond durations.
+func (l *EventLog) NeedsPhaseTimings() bool { return true }
+
 // Event implements Observer.
 func (l *EventLog) Event(kind string, r, p int, fields map[string]any) {
 	l.write(struct {

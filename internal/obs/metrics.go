@@ -192,6 +192,10 @@ func (m *Metrics) Phase(r int, phase string, d time.Duration) {
 	m.mu.Unlock()
 }
 
+// NeedsPhaseTimings implements PhaseTimer: the phase histograms are real
+// durations.
+func (m *Metrics) NeedsPhaseTimings() bool { return true }
+
 // Event implements Observer. Fault-injection and link-recovery events
 // additionally feed the FaultSnapshot counters.
 func (m *Metrics) Event(kind string, r, p int, fields map[string]any) {

@@ -79,8 +79,34 @@ type Observer interface {
 	Event(kind string, r, p int, fields map[string]any)
 }
 
+// PhaseTimer is an optional Observer extension letting the engine skip its
+// per-phase clock reads. An observer whose NeedsPhaseTimings returns false
+// still has Phase called at every phase boundary, but with a zero duration
+// and no time.Now cost on the engine's hot path. Observers that do not
+// implement PhaseTimer are conservatively assumed to consume timings.
+type PhaseTimer interface {
+	NeedsPhaseTimings() bool
+}
+
+// NeedsPhaseTimings reports whether o wants real durations in its Phase
+// hook: false for nil and for observers that opt out via PhaseTimer, true
+// for everything else.
+func NeedsPhaseTimings(o Observer) bool {
+	if isNil(o) {
+		return false
+	}
+	if pt, ok := o.(PhaseTimer); ok {
+		return pt.NeedsPhaseTimings()
+	}
+	return true
+}
+
 // Base is an Observer with every hook a no-op. Embed it to implement only
 // a subset of the interface.
+//
+// Base opts out of phase timings (a no-op consumes nothing), and embedders
+// inherit that: a type embedding Base whose Phase override does consume its
+// duration must also override NeedsPhaseTimings to return true.
 type Base struct{}
 
 // RunStart implements Observer.
@@ -113,7 +139,12 @@ func (Base) Phase(int, string, time.Duration) {}
 // Event implements Observer.
 func (Base) Event(string, int, int, map[string]any) {}
 
+// NeedsPhaseTimings implements PhaseTimer: a pure no-op never consumes
+// phase durations.
+func (Base) NeedsPhaseTimings() bool { return false }
+
 var _ Observer = Base{}
+var _ PhaseTimer = Base{}
 
 // multi fans every hook out to several observers in order.
 type multi []Observer
@@ -223,4 +254,15 @@ func (m multi) Event(kind string, r, p int, fields map[string]any) {
 	for _, o := range m {
 		o.Event(kind, r, p, fields)
 	}
+}
+
+// NeedsPhaseTimings implements PhaseTimer: a fan-out wants timings if any
+// member does.
+func (m multi) NeedsPhaseTimings() bool {
+	for _, o := range m {
+		if NeedsPhaseTimings(o) {
+			return true
+		}
+	}
+	return false
 }

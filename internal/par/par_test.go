@@ -1,0 +1,160 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		got, err := Map(workers, 50, func(i int) int { return i * i })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	// The scheduler contract: results are a pure function of the task
+	// indices, independent of worker count. Each task derives its value
+	// from its own seeded RNG, the way campaign runs do.
+	task := func(i int) int64 { return rand.New(rand.NewSource(int64(i))).Int63() }
+	seq, err := Map(1, 200, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := Map(8, 200, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != parl[i] {
+			t.Fatalf("task %d: sequential %d != parallel %d", i, seq[i], parl[i])
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got, err := Map(8, 0, func(i int) int { return i }); err != nil || len(got) != 0 {
+		t.Fatalf("n=0: got %v, %v", got, err)
+	}
+	if got, err := Map(8, 1, func(i int) int { return 7 }); err != nil || got[0] != 7 {
+		t.Fatalf("n=1: got %v, %v", got, err)
+	}
+}
+
+func TestMapSequentialStaysOnCallerGoroutine(t *testing.T) {
+	// workers=1 is the degenerate sequential case: no goroutines, so
+	// tasks may use caller-goroutine state (e.g. testing.T helpers).
+	before := runtime.NumGoroutine()
+	_, err := Map(1, 100, func(i int) int { return i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d -> %d under workers=1", before, after)
+	}
+}
+
+func TestMapPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ran := atomic.Int64{}
+		out, err := Map(workers, 10, func(i int) int {
+			ran.Add(1)
+			if i == 3 || i == 7 {
+				panic(fmt.Sprintf("boom %d", i))
+			}
+			return i
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", workers, err)
+		}
+		// The lowest-index panic wins, whatever order workers hit them.
+		if pe.Index != 3 || pe.Value != "boom 3" {
+			t.Fatalf("workers=%d: got index %d value %v", workers, pe.Index, pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "task 3 panicked: boom 3") {
+			t.Fatalf("workers=%d: error text %q", workers, pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+		// Every task still ran; surviving results are intact.
+		if ran.Load() != 10 {
+			t.Fatalf("workers=%d: ran %d of 10 tasks", workers, ran.Load())
+		}
+		if out[2] != 2 || out[9] != 9 {
+			t.Fatalf("workers=%d: surviving results clobbered: %v", workers, out)
+		}
+	}
+}
+
+func TestSweepCollectsResults(t *testing.T) {
+	got, err := Sweep(4, 5, func(i int) (string, error) {
+		return fmt.Sprintf("s%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"s0", "s1", "s2", "s3", "s4"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestSweepFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 8} {
+		_, err := Sweep(workers, 10, func(i int) (int, error) {
+			switch i {
+			case 2:
+				return 0, errA
+			case 6:
+				return 0, errB
+			}
+			return i, nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: want first-by-index error %v, got %v", workers, errA, err)
+		}
+	}
+}
+
+func TestSweepPanicBeatsLaterError(t *testing.T) {
+	_, err := Sweep(4, 10, func(i int) (int, error) {
+		if i == 1 {
+			panic("early")
+		}
+		if i == 5 {
+			return 0, errors.New("late")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("want panic at task 1, got %v", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit count not respected")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("default not GOMAXPROCS")
+	}
+}

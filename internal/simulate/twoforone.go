@@ -54,7 +54,12 @@ func (a *twoForOne) Emit(r int) core.Message {
 
 func (a *twoForOne) Deliver(r int, msgs map[core.PID]core.Message, suspects core.Set) (core.Value, bool) {
 	if r%2 == 1 {
-		a.got = msgs
+		// msgs is engine-owned scratch; a.got is relayed next round, so
+		// it needs an owned copy.
+		a.got = make(map[core.PID]core.Message, len(msgs))
+		for p, m := range msgs {
+			a.got[p] = m
+		}
 		return nil, false
 	}
 	rho := r / 2

@@ -157,7 +157,7 @@ func (a *fullInfo) Deliver(r int, msgs map[core.PID]core.Message, suspects core.
 		Owner:     a.me,
 		Round:     r,
 		Input:     a.cur.Input,
-		Suspected: suspects,
+		Suspected: suspects.Clone(), // suspects is engine-owned scratch
 		Received:  make(map[core.PID]*View, len(msgs)),
 		Prev:      a.cur,
 	}
