@@ -8,7 +8,7 @@ GO ?= go
 BENCH_PKGS := ./internal/core ./internal/agreement ./internal/chaos
 BENCH_PAT  ?= .
 
-.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short
+.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-ci: vet build race chaos-short recovery-short
+ci: vet build race chaos-short recovery-short mc-short mc-cover
 
 # Fixed-seed, small-N fault-injection campaigns under the race detector:
 # quick enough for every CI run, loud on any safety violation (the chaos
@@ -45,6 +45,26 @@ recovery-short:
 		-checkpoint $$dir -kill-after 1 && \
 	$(GO) run -race ./cmd/rrfdsim -system crash -alg floodmin -n 8 -f 3 -seed 5 \
 		-resume $$dir && rm -rf $${dir%/ck}
+
+# Fixed-seed model-checking runs under the race detector: exhaustive
+# exploration of small instances for three model families, a bounded
+# sampled run, and the planted wrong-quorum bug — which MUST fail with its
+# known one-choice counterexample (the ! inverts the expected exit 1).
+mc-short:
+	$(GO) run -race ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset -workers 4
+	$(GO) run -race ./cmd/rrfdsim -mc -system omission -n 3 -f 1 -alg floodmin -rounds 3
+	$(GO) run -race ./cmd/rrfdsim -mc -system crash -n 3 -f 1 -alg floodmin -rounds 2 -mc-depth 1
+	! $(GO) run -race ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset -bug
+	$(GO) run -race ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset -bug -mc-replay c1:4; \
+		test $$? -eq 1
+
+# Coverage floor for the model-checking engine: the subsystem exists to
+# find other packages' bugs, so its own statements stay >= 85% covered.
+mc-cover:
+	$(GO) test -cover ./internal/mc/ | awk '{ \
+		for (i = 1; i <= NF; i++) if ($$i == "coverage:") c = substr($$(i+1), 1, length($$(i+1))-1); \
+		print } END { \
+		if (c + 0 < 85) { print "internal/mc coverage " c "% below 85% floor"; exit 1 } }'
 
 # The larger sweep: every fault class, more seeds, more runs.
 chaos:

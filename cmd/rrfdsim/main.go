@@ -16,6 +16,15 @@
 // prints the scheduler seed, the fault plan and a delta-debugged minimal
 // plan, and exits non-zero.
 //
+// Model checking: -mc switches to the systematic explorer — every
+// adversary schedule an enumerable model (async, kset, omission, crash)
+// allows over a small system (n ≤ 4) is executed and checked against
+// validity and k-agreement, with state-hash pruning and symmetry/sleep-set
+// reduction. -mc-depth bounds enumeration with seeded random frontier
+// sampling; a violation prints a shrunk counterexample replayable with
+// -mc-replay, and exits non-zero. -bug plants a wrong-quorum-size decision
+// rule (-alg qkset) the checker demonstrably catches.
+//
 // Crash recovery: -checkpoint DIR journals the execution to a write-ahead
 // log; -kill-after R deterministically kills the run at a round boundary;
 // -resume DIR reconstructs the journaled run (same flags = same oracle and
@@ -33,6 +42,11 @@
 //	go run ./cmd/rrfdsim -system crash -n 8 -f 3 -alg floodmin
 //	go run ./cmd/rrfdsim -system s -n 6 -alg coordinator -trace
 //	go run ./cmd/rrfdsim -system snapshot -n 6 -f 2 -alg none -rounds 4
+//	go run ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset
+//	go run ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset -bug -workers 4
+//	go run ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset -bug -mc-replay c1:4
+//	go run ./cmd/rrfdsim -mc -system omission -n 3 -f 1 -alg floodmin -rounds 3
+//	go run ./cmd/rrfdsim -mc -system crash -n 3 -f 1 -alg floodmin -mc-depth 2
 //	go run ./cmd/rrfdsim -chaos -n 6 -f 2 -k 3 -runs 200 -drop 0.3 -seed 7
 //	go run ./cmd/rrfdsim -chaos -runs 500 -workers 8   # parallel, same output
 //	go run ./cmd/rrfdsim -chaos -runs 50 -drop 0.5 -partition 0.5 -crashes 2 -metrics
@@ -75,6 +89,13 @@ type config struct {
 	resumeDir    string
 	chaosRecover bool
 
+	// model-checking flags
+	mc        bool
+	mcMax     int
+	mcDepth   int
+	mcSamples int
+	mcReplay  string
+
 	// chaos-mode flags
 	chaos     bool
 	workers   int
@@ -109,6 +130,11 @@ func main() {
 	flag.IntVar(&cfg.killAfter, "kill-after", 0, "kill the run after this round completes and is journaled (requires -checkpoint)")
 	flag.StringVar(&cfg.resumeDir, "resume", "", "resume a journaled run from this directory (pass the original system/alg flags)")
 	flag.BoolVar(&cfg.chaosRecover, "chaos-recover", false, "run the crash-and-recover chaos campaign (crashes + supervised restarts + safety audit)")
+	flag.BoolVar(&cfg.mc, "mc", false, "model-check: exhaustively explore every adversary schedule of a small system")
+	flag.IntVar(&cfg.mcMax, "mc-max", 0, "mc: schedule budget (0 = 1<<20)")
+	flag.IntVar(&cfg.mcDepth, "mc-depth", 0, "mc: bound enumeration to this choice depth, sample beyond it (0 = unbounded)")
+	flag.IntVar(&cfg.mcSamples, "mc-samples", 0, "mc: random completions per frontier node when -mc-depth is set (0 = 8)")
+	flag.StringVar(&cfg.mcReplay, "mc-replay", "", "mc: replay one recorded counterexample choice string (e.g. c1:4)")
 	flag.BoolVar(&cfg.chaos, "chaos", false, "run the randomized fault-injection campaign instead of a single execution")
 	flag.IntVar(&cfg.workers, "workers", 0, "chaos modes: concurrent runs (0 = one per CPU, 1 = sequential; output is identical either way)")
 	flag.IntVar(&cfg.runs, "runs", 0, "chaos: number of randomized executions (0 = 100)")
@@ -142,6 +168,9 @@ func main() {
 func run(cfg config, w io.Writer) error {
 	if err := validate(cfg); err != nil {
 		return err
+	}
+	if cfg.mc {
+		return runMC(cfg, w)
 	}
 	if cfg.chaos {
 		return runChaos(cfg, w)
@@ -463,8 +492,20 @@ func validate(cfg config) error {
 	if cfg.workers < 0 {
 		return fmt.Errorf("invalid worker count %d", cfg.workers)
 	}
-	if cfg.workers > 1 && !cfg.chaos && !cfg.chaosRecover {
-		return fmt.Errorf("-workers parallelizes campaign runs: add -chaos or -chaos-recover")
+	if cfg.workers > 1 && !cfg.chaos && !cfg.chaosRecover && !cfg.mc {
+		return fmt.Errorf("-workers parallelizes campaign runs: add -chaos, -chaos-recover or -mc")
+	}
+	if cfg.mc && (cfg.chaos || cfg.chaosRecover) {
+		return fmt.Errorf("-mc is its own mode: drop -chaos/-chaos-recover")
+	}
+	if cfg.mc && (cfg.dumpTrace || cfg.outFile != "") {
+		return fmt.Errorf("-mc runs many executions and records no single trace: drop -trace/-o")
+	}
+	if cfg.mc && (cfg.ckptDir != "" || cfg.resumeDir != "") {
+		return fmt.Errorf("-mc re-executes schedules from scratch: drop -checkpoint/-resume")
+	}
+	if cfg.mcReplay != "" && !cfg.mc {
+		return fmt.Errorf("-mc-replay replays a model-checking schedule: add -mc")
 	}
 	if cfg.chaos && (cfg.dumpTrace || cfg.outFile != "") {
 		return fmt.Errorf("-chaos runs many executions and records no single trace: drop -trace/-o")

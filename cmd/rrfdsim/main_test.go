@@ -387,3 +387,149 @@ func TestRunChaosRecoverMetrics(t *testing.T) {
 		}
 	}
 }
+
+func mcConfig() config {
+	return config{system: "async", alg: "qkset", n: 3, f: 1, k: 2, seed: 1, mc: true}
+}
+
+func TestRunMCExhaustsHonest(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(mcConfig(), &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "schedules=27") || !strings.Contains(out, "exhausted") {
+		t.Fatalf("output lacks the exhaustive verdict:\n%s", out)
+	}
+}
+
+func TestRunMCFindsPlantedBug(t *testing.T) {
+	cfg := mcConfig()
+	cfg.bug = true
+	var buf bytes.Buffer
+	err := run(cfg, &buf)
+	if err == nil {
+		t.Fatalf("planted bug not reported as error:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "violation:") || !strings.Contains(out, "counterexample (1 choices") {
+		t.Fatalf("output lacks the shrunk counterexample:\n%s", out)
+	}
+	if !strings.Contains(out, "c1:4") {
+		t.Fatalf("output lacks the replay string:\n%s", out)
+	}
+}
+
+func TestRunMCWorkersByteIdentical(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, w := range []int{1, 4, 8} {
+		cfg := mcConfig()
+		cfg.bug = true
+		cfg.workers = w
+		var buf bytes.Buffer
+		if err := run(cfg, &buf); err == nil {
+			t.Fatal("planted bug not found")
+		}
+		outputs = append(outputs, buf.String())
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Fatalf("worker counts change the output:\n%s\nvs\n%s\nvs\n%s",
+			outputs[0], outputs[1], outputs[2])
+	}
+}
+
+func TestRunMCReplay(t *testing.T) {
+	cfg := mcConfig()
+	cfg.bug = true
+	cfg.mcReplay = "c1:4"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err == nil {
+		t.Fatalf("replayed counterexample did not violate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "violation reproduced") {
+		t.Fatalf("replay output:\n%s", buf.String())
+	}
+
+	// The same schedule is harmless for the honest rule.
+	cfg.bug = false
+	buf.Reset()
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("honest replay failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no violation") {
+		t.Fatalf("replay output:\n%s", buf.String())
+	}
+}
+
+func TestRunMCReplayRejectsTornString(t *testing.T) {
+	cfg := mcConfig()
+	cfg.mcReplay = "c1:4."
+	var buf bytes.Buffer
+	err := run(cfg, &buf)
+	if err == nil || !strings.Contains(err.Error(), "bad choice string") {
+		t.Fatalf("torn replay string accepted: %v", err)
+	}
+}
+
+func TestRunMCMetrics(t *testing.T) {
+	cfg := mcConfig()
+	cfg.metrics = true
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	idx := strings.Index(out, "metrics:\n")
+	if idx < 0 {
+		t.Fatalf("no metrics snapshot:\n%s", out)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(out[idx+len("metrics:\n"):strings.LastIndex(out, "}")+1]), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	mcSnap, ok := snap["mc"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics lack the mc section:\n%s", out)
+	}
+	if mcSnap["schedules"].(float64) != 27 {
+		t.Fatalf("mc.schedules = %v, want 27", mcSnap["schedules"])
+	}
+}
+
+func TestValidateMCFlagCombos(t *testing.T) {
+	cfg := mcConfig()
+	cfg.chaos = true
+	if err := validate(cfg); err == nil {
+		t.Fatal("-mc with -chaos accepted")
+	}
+	cfg = mcConfig()
+	cfg.dumpTrace = true
+	if err := validate(cfg); err == nil {
+		t.Fatal("-mc with -trace accepted")
+	}
+	cfg = mcConfig()
+	cfg.ckptDir = "/tmp/x"
+	if err := validate(cfg); err == nil {
+		t.Fatal("-mc with -checkpoint accepted")
+	}
+	cfg = baseConfig()
+	cfg.mcReplay = "c1:1"
+	if err := validate(cfg); err == nil {
+		t.Fatal("-mc-replay without -mc accepted")
+	}
+	cfg = mcConfig()
+	cfg.workers = 4
+	if err := validate(cfg); err != nil {
+		t.Fatalf("-mc -workers 4 rejected: %v", err)
+	}
+}
+
+func TestRunMCRejectsLargeN(t *testing.T) {
+	cfg := mcConfig()
+	cfg.n = 6
+	var buf bytes.Buffer
+	err := run(cfg, &buf)
+	if err == nil || !strings.Contains(err.Error(), "n") {
+		t.Fatalf("n=6 enumeration accepted: %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	rrfd "repro"
+)
+
+// runMC executes the systematic model checker: exhaustive (or bounded)
+// exploration of every adversary schedule an enumerable model allows over
+// a small system, checking validity and k-agreement on every schedule.
+// A violation prints a shrunk, replayable counterexample and exits
+// non-zero; -mc-replay re-executes one recorded schedule.
+func runMC(cfg config, w io.Writer) error {
+	n, f, k := cfg.n, cfg.f, cfg.k
+
+	var (
+		enum rrfd.AdversaryEnum
+		err  error
+	)
+	switch cfg.system {
+	case "async":
+		enum, err = rrfd.EnumPerRoundBudget(n, f)
+	case "kset":
+		enum, err = rrfd.EnumKSet(n, k)
+	case "omission":
+		enum, err = rrfd.EnumSendOmission(n, f)
+	case "crash":
+		enum, err = rrfd.EnumSyncCrash(n, f)
+	default:
+		return fmt.Errorf("-mc enumerates systems async|kset|omission|crash, got %q", cfg.system)
+	}
+	if err != nil {
+		return err
+	}
+
+	inputs := make([]rrfd.Value, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+
+	var factory rrfd.Factory
+	bound := k
+	switch cfg.alg {
+	case "qkset":
+		// Quorum-gated k-set decides among at most f+1 distinct minima.
+		bound = f + 1
+		if cfg.bug {
+			factory = rrfd.QuorumKSetBuggy(f)
+		} else {
+			factory = rrfd.QuorumKSet(f)
+		}
+	case "kset":
+		factory = rrfd.OneRoundKSet()
+	case "floodmin":
+		r := f/k + 1
+		if cfg.rounds > 0 {
+			r = cfg.rounds
+		}
+		factory = rrfd.FloodMin(r)
+	default:
+		return fmt.Errorf("-mc supports algorithms qkset|kset|floodmin, got %q", cfg.alg)
+	}
+	if cfg.bug && cfg.alg != "qkset" {
+		return fmt.Errorf("-bug plants the wrong-quorum decision rule: use -alg qkset")
+	}
+
+	run := rrfd.MCCheckRun(rrfd.MCRunSpec{
+		N:       n,
+		Inputs:  inputs,
+		Factory: factory,
+		Oracle: func(ctx *rrfd.MCCtx) rrfd.Oracle {
+			return rrfd.EnumeratedAdversary(ctx, n, enum)
+		},
+		Props: []rrfd.MCProperty{
+			rrfd.MCValidity(inputs),
+			rrfd.MCKAgreement(bound),
+		},
+		Mark: true,
+	})
+
+	if cfg.mcReplay != "" {
+		choices, err := rrfd.ParseChoices(cfg.mcReplay)
+		if err != nil {
+			return err
+		}
+		if rerr := rrfd.MCReplay(choices, run); rerr != nil {
+			fmt.Fprintf(w, "replay %s: violation reproduced: %v\n", cfg.mcReplay, rerr)
+			return fmt.Errorf("mc: replayed schedule violates its properties")
+		}
+		fmt.Fprintf(w, "replay %s: no violation\n", cfg.mcReplay)
+		return nil
+	}
+
+	var metrics *rrfd.Metrics
+	var events *rrfd.EventLog
+	var eventsBuf *bufio.Writer
+	if cfg.metrics {
+		metrics = rrfd.NewMetrics()
+	}
+	if cfg.eventsFile != "" {
+		file, err := os.Create(cfg.eventsFile)
+		if err != nil {
+			return fmt.Errorf("create events file: %w", err)
+		}
+		defer file.Close()
+		eventsBuf = bufio.NewWriter(file)
+		events = rrfd.NewEventLog(eventsBuf)
+	}
+
+	opts := rrfd.MCOptions{
+		MaxSchedules: cfg.mcMax,
+		MaxDepth:     cfg.mcDepth,
+		Samples:      cfg.mcSamples,
+		Seed:         cfg.seed,
+		Workers:      cfg.workers,
+	}
+	if observer := rrfd.MultiObserver(metrics, events); observer != nil {
+		opts.Observer = observer
+	}
+
+	res, err := rrfd.MCExplore(opts, run)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "mc: system=%s alg=%s n=%d f=%d k=%d bound=%d\n",
+		cfg.system, cfg.alg, n, f, k, bound)
+	fmt.Fprintf(w, "schedules=%d pruned=%d sampled=%d symmetry_skips=%d sleep_skips=%d max_depth=%d\n",
+		res.Schedules, res.Pruned, res.Sampled, res.SymmetrySkips, res.SleepSkips, res.Stats.MaxDepth)
+
+	if events != nil {
+		if err := eventsBuf.Flush(); err != nil {
+			return fmt.Errorf("flush events: %w", err)
+		}
+		if err := events.Err(); err != nil {
+			return fmt.Errorf("write events: %w", err)
+		}
+		fmt.Fprintf(w, "%d events written to %s\n", events.Lines(), cfg.eventsFile)
+	}
+	if metrics != nil {
+		b, err := metrics.Snapshot().JSON()
+		if err != nil {
+			return fmt.Errorf("encode metrics: %w", err)
+		}
+		fmt.Fprintf(w, "metrics:\n%s\n", b)
+	}
+
+	switch {
+	case res.Counterexample != nil:
+		cx := res.Counterexample
+		fmt.Fprintf(w, "violation: %v\n", cx.Err)
+		replay := rrfd.FormatChoices(cx.Choices)
+		fmt.Fprintf(w, "counterexample (%d choices, shrunk from %d): %s\n",
+			len(cx.Choices), len(cx.FirstFound), replay)
+		fmt.Fprintf(w, "replay with: -mc -mc-replay %s (same system/alg flags)\n", replay)
+		return fmt.Errorf("mc: property violated")
+	case res.Exhausted:
+		fmt.Fprintln(w, "exhausted: every schedule satisfies the properties")
+	case res.LimitHit:
+		fmt.Fprintf(w, "limit: %d schedules run without exhausting the space (raise -mc-max)\n", res.Schedules)
+	default:
+		fmt.Fprintf(w, "bounded: sampled beyond depth %d, no violation found\n", cfg.mcDepth)
+	}
+	return nil
+}

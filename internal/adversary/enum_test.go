@@ -1,0 +1,127 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/predicate"
+)
+
+// explored runs an exhaustive exploration of FloodMin(rounds) under the
+// given enumeration, checking that every explored trace satisfies the
+// model predicate the enumeration claims to implement.
+func explored(t *testing.T, n, rounds int, enum adversary.Enum, p predicate.P) *mc.Result {
+	t.Helper()
+	inputs := make([]core.Value, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	res, err := mc.Explore(mc.Options{}, mc.CheckRun(mc.RunSpec{
+		N:       n,
+		Inputs:  inputs,
+		Factory: agreement.FloodMin(rounds),
+		Oracle: func(ctx *mc.Ctx) core.Oracle {
+			return adversary.Enumerated(ctx, n, enum)
+		},
+		Props: []mc.Property{mc.TraceSatisfies(p)},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counterexample != nil {
+		t.Fatalf("enumeration left its model: %v", res.Counterexample)
+	}
+	if !res.Exhausted {
+		t.Fatalf("exploration not exhausted: %+v", res)
+	}
+	return res
+}
+
+func TestEnumPerRoundBudgetInModel(t *testing.T) {
+	enum, err := adversary.EnumPerRoundBudget(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := explored(t, 3, 2, enum, predicate.PerRoundBudget(1))
+	// Round 1 and round 2 each offer 3^3 = 27 plans (each process misses
+	// at most one of the other two: 3 choices each).
+	if res.Schedules != 27*27 {
+		t.Fatalf("schedules = %d, want 729", res.Schedules)
+	}
+}
+
+func TestEnumSendOmissionInModel(t *testing.T) {
+	enum, err := adversary.EnumSendOmission(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explored(t, 3, 2, enum, predicate.SendOmission(1))
+}
+
+func TestEnumSyncCrashInModel(t *testing.T) {
+	enum, err := adversary.EnumSyncCrash(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explored(t, 3, 2, enum, predicate.SyncCrash(1))
+}
+
+func TestEnumKSetInModel(t *testing.T) {
+	enum, err := adversary.EnumKSet(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explored(t, 3, 1, enum, predicate.KSetDetector(2))
+}
+
+func TestEnumGuards(t *testing.T) {
+	if _, err := adversary.EnumPerRoundBudget(5, 1); err == nil {
+		t.Fatal("per-round-budget n=5 should be rejected")
+	}
+	if _, err := adversary.EnumKSet(4, 2); err == nil {
+		t.Fatal("k-set n=4 should be rejected")
+	}
+	if _, err := adversary.EnumSendOmission(0, 1); err == nil {
+		t.Fatal("n=0 should be rejected")
+	}
+	if _, err := adversary.EnumSyncCrash(5, 1); err == nil {
+		t.Fatal("sync-crash n=5 should be rejected")
+	}
+}
+
+// TestEnumSyncCrashPropagation: a process suspected in round r must be in
+// everyone's round-r+1 suspect set (eq. (2)); spot-check the enumeration
+// produces crashing plans at all, not just the all-trusting one.
+func TestEnumSyncCrashProducesCrashes(t *testing.T) {
+	enum, err := adversary.EnumSyncCrash(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := core.NewSet(3)
+	for p := 0; p < 3; p++ {
+		active.Add(core.PID(p))
+	}
+	prev := core.NewSet(3)
+	prev.Add(0)
+	sus := core.NewSet(3)
+	sus.Add(0)
+	plans := enum(adversary.EnumState{R: 2, Active: active, Suspected: sus, PrevUnion: prev})
+	if len(plans) == 0 {
+		t.Fatal("no plans for a round with a pending crash")
+	}
+	for _, pl := range plans {
+		if !pl.Crashes.Has(0) {
+			t.Fatalf("suspected process 0 not crashed in follow-up round: %+v", pl)
+		}
+		pl.Crashes.ForEach(func(cp core.PID) {
+			active.ForEach(func(q core.PID) {
+				if q != cp && !pl.Suspects[q].Has(cp) {
+					t.Fatalf("live process %d does not suspect crashed %d", q, cp)
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package agreement
+
+import (
+	"repro/internal/core"
+)
+
+// quorumKSet is the quorum-gated k-set algorithm the chaos harness and the
+// model checker both exercise: emit the input, wait for a quorum of n−f
+// round messages, decide the minimum value received. Under eq. (3)
+// (|D(i,r)| ≤ f) the quorum arrives every round, each process misses at
+// most the f smallest inputs, and at most f+1 = k distinct minima are
+// decided.
+//
+// The buggy variant has the classic off-by-one quorum check: it gates the
+// min-decision on strictly *more* than n−f messages, and its "cannot
+// happen" fallback decides the process's own input. The fallback is
+// reachable precisely when the adversary makes |S(i,r)| = n−f — the
+// boundary the model guarantees and the correct comparison accepts — and
+// decides unreduced inputs, breaking k-agreement. The model checker must
+// find this; see internal/mc's planted-bug test.
+type quorumKSet struct {
+	me      core.PID
+	n, f    int
+	input   int
+	decided bool
+	out     int
+	buggy   bool
+}
+
+// QuorumKSet returns the factory for the quorum-gated k-set algorithm with
+// fault bound f. Task values must be ints.
+func QuorumKSet(f int) core.Factory {
+	return func(me core.PID, n int, input core.Value) core.Algorithm {
+		return &quorumKSet{me: me, n: n, f: f, input: input.(int)}
+	}
+}
+
+// QuorumKSetBuggy is QuorumKSet with the planted wrong-quorum-size bug.
+func QuorumKSetBuggy(f int) core.Factory {
+	return func(me core.PID, n int, input core.Value) core.Algorithm {
+		return &quorumKSet{me: me, n: n, f: f, input: input.(int), buggy: true}
+	}
+}
+
+func (a *quorumKSet) Emit(r int) core.Message { return a.input }
+
+func (a *quorumKSet) Deliver(r int, msgs map[core.PID]core.Message, suspects core.Set) (core.Value, bool) {
+	if a.decided {
+		return a.out, true
+	}
+	quorum := a.n - a.f
+	enough := len(msgs) >= quorum
+	if a.buggy {
+		enough = len(msgs) > quorum
+	}
+	switch {
+	case enough:
+		min := a.input
+		for _, m := range msgs {
+			if v := m.(int); v < min {
+				min = v
+			}
+		}
+		a.out, a.decided = min, true
+	case a.buggy:
+		// The planted bug's unreachable-looking fallback: with the wrong
+		// comparison it fires on every |S(i,r)| = n−f round and decides
+		// the raw input.
+		a.out, a.decided = a.input, true
+	default:
+		// No quorum: outside eq. (3); keep waiting for one.
+		return nil, false
+	}
+	return a.out, true
+}
+
+// Fingerprint implements the model checker's state-hash contract
+// (mc.Fingerprinter) over the algorithm's complete mutable state.
+func (a *quorumKSet) Fingerprint() uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range []uint64{uint64(a.me), uint64(a.input) + 1, boolBit(a.decided), uint64(a.out) + 1, boolBit(a.buggy)} {
+		h = (h ^ v) * 1099511628211
+	}
+	return h
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Fingerprint implements mc.Fingerprinter for FloodMin, hashing the
+// current estimate and horizon.
+func (a *floodMin) Fingerprint() uint64 {
+	h := uint64(1469598103934665603)
+	h = (h ^ uint64(a.est+1)) * 1099511628211
+	h = (h ^ uint64(a.rounds)) * 1099511628211
+	return h
+}

@@ -1,0 +1,100 @@
+package agreement
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+)
+
+// runQuorum executes the quorum k-set algorithm for n=4, f=1 under a
+// benign oracle and returns the result.
+func runQuorum(t *testing.T, factory core.Factory) *core.Result {
+	t.Helper()
+	inputs := []core.Value{3, 1, 2, 0}
+	res, err := core.Run(4, inputs, factory, adversary.Benign(4), core.WithMaxRounds(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestQuorumKSetBenignDecidesMin(t *testing.T) {
+	res := runQuorum(t, QuorumKSet(1))
+	for p, v := range res.Outputs {
+		if v != 0 {
+			t.Fatalf("process %d decided %v, want global min 0 under full views", p, v)
+		}
+	}
+	if res.DistinctOutputs() != 1 {
+		t.Fatalf("distinct outputs = %d, want 1", res.DistinctOutputs())
+	}
+}
+
+func TestQuorumKSetWaitsBelowQuorum(t *testing.T) {
+	// An adversary that hides two senders from process 0 keeps it below
+	// the n−f=3 quorum: it must not decide that round.
+	oracle := core.OracleFunc(func(r int, active core.Set) core.RoundPlan {
+		ds := make([]core.Set, 4)
+		for i := range ds {
+			ds[i] = core.NewSet(4)
+		}
+		if r == 1 {
+			ds[0].Add(1)
+			ds[0].Add(2)
+		}
+		return core.RoundPlan{Suspects: ds}
+	})
+	res, err := core.Run(4, []core.Value{3, 1, 2, 0}, QuorumKSet(1), oracle, core.WithMaxRounds(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecidedAt[0] != 2 {
+		t.Fatalf("process 0 decided in round %d, want 2 (round 1 view is sub-quorum)", res.DecidedAt[0])
+	}
+}
+
+func TestQuorumKSetBuggyFallback(t *testing.T) {
+	// The same sub-quorum view makes the buggy variant decide its raw
+	// input — and even full views trip its strict comparison when
+	// |S| == quorum. With f=3, quorum = 1: every full 4-message view is
+	// > 1, so the bug hides; with f=0, quorum = 4 and len(msgs) > 4 is
+	// impossible, so every process decides its own input.
+	res := runQuorum(t, QuorumKSetBuggy(0))
+	if res.DistinctOutputs() != 4 {
+		t.Fatalf("distinct outputs = %d, want 4 (fallback decides raw inputs)", res.DistinctOutputs())
+	}
+	for p, v := range res.Outputs {
+		if v != []core.Value{3, 1, 2, 0}[p] {
+			t.Fatalf("process %d decided %v, want its own input", p, v)
+		}
+	}
+}
+
+func TestQuorumFingerprintTracksState(t *testing.T) {
+	a := QuorumKSet(1)(0, 3, 5).(*quorumKSet)
+	b := QuorumKSet(1)(0, 3, 5).(*quorumKSet)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical states hash differently")
+	}
+	b.decided, b.out = true, 5
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("deciding did not change the fingerprint")
+	}
+	c := QuorumKSetBuggy(1)(0, 3, 5).(*quorumKSet)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("buggy flag not part of the fingerprint")
+	}
+}
+
+func TestFloodMinFingerprintTracksEstimate(t *testing.T) {
+	a := FloodMin(2)(0, 3, 7).(*floodMin)
+	b := FloodMin(2)(0, 3, 7).(*floodMin)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical states hash differently")
+	}
+	b.est = 1
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("estimate change did not change the fingerprint")
+	}
+}

@@ -65,7 +65,13 @@ func X04Ablations(quick bool) (*Table, error) {
 			}
 			return nil
 		})
-		if err != nil && !errors.Is(err, swmr.ErrExploreLimit) {
+		var limit *swmr.ExploreLimitError
+		switch {
+		case errors.As(err, &limit):
+			// The structured limit error carries the schedules that ran,
+			// so a truncated search still reports its explored space.
+			count = limit.Schedules
+		case err != nil:
 			return ablStat{}, err
 		}
 		return ablStat{space: count, hits: violations}, nil

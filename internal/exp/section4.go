@@ -111,10 +111,12 @@ func E11AdoptCommit(quick bool) (*Table, error) {
 			c.Chooser = ch
 			return check(inputs, c)
 		})
-		return exploreStat{
-			count:    count,
-			violated: err != nil && !errors.Is(err, swmr.ErrExploreLimit),
-		}, nil
+		var limit *swmr.ExploreLimitError
+		if errors.As(err, &limit) {
+			// Truncated searches report the schedules that did run.
+			return exploreStat{count: limit.Schedules}, nil
+		}
+		return exploreStat{count: count, violated: err != nil}, nil
 	})
 	if err != nil {
 		return nil, err

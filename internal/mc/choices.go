@@ -1,0 +1,106 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Choice strings are the portable form of a counterexample: a versioned,
+// human-readable rendering of the choice sequence that replays a schedule
+// ("c1:2.0.1" is the sequence [2, 0, 1]). They round-trip through
+// FormatChoices/ParseChoices and are what rrfdsim -mc prints and its
+// -mc-replay flag accepts.
+
+// choicesVersion is the current choice-string format prefix.
+const choicesVersion = "c1:"
+
+// maxChoices and maxChoice bound what ParseChoices accepts: no real
+// counterexample comes close, and the bounds turn hostile input (fuzzed,
+// truncated, hand-mangled) into structured errors instead of huge
+// allocations.
+const (
+	maxChoices = 1 << 16
+	maxChoice  = 1 << 20
+)
+
+// DecodeError reports a malformed choice string. Offset is the byte
+// offset of the first offending character.
+type DecodeError struct {
+	Offset int
+	Reason string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("mc: bad choice string at offset %d: %s", e.Offset, e.Reason)
+}
+
+// FormatChoices renders a choice sequence as a replayable string.
+func FormatChoices(choices []int) string {
+	var b strings.Builder
+	b.WriteString(choicesVersion)
+	for i, c := range choices {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		if c < 0 {
+			c = 0
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
+// ParseChoices decodes a choice string back to the sequence. Errors are
+// always a *DecodeError pinpointing the offending byte: a torn, truncated
+// or hand-mangled string never panics and never silently decodes to the
+// wrong schedule.
+func ParseChoices(s string) ([]int, error) {
+	if !strings.HasPrefix(s, choicesVersion) {
+		if strings.HasPrefix(s, "c") && strings.Contains(s, ":") {
+			return nil, &DecodeError{Offset: 0, Reason: fmt.Sprintf("unsupported version %q (want %q)", s[:strings.Index(s, ":")+1], choicesVersion)}
+		}
+		return nil, &DecodeError{Offset: 0, Reason: fmt.Sprintf("missing %q prefix", choicesVersion)}
+	}
+	body := s[len(choicesVersion):]
+	if body == "" {
+		return []int{}, nil
+	}
+	choices := make([]int, 0, 8)
+	val, digits, start := 0, 0, len(choicesVersion)
+	flush := func(end int) error {
+		if digits == 0 {
+			return &DecodeError{Offset: start, Reason: "empty choice"}
+		}
+		if len(choices) >= maxChoices {
+			return &DecodeError{Offset: start, Reason: fmt.Sprintf("more than %d choices", maxChoices)}
+		}
+		choices = append(choices, val)
+		val, digits, start = 0, 0, end+1
+		return nil
+	}
+	for i := 0; i < len(body); i++ {
+		off := len(choicesVersion) + i
+		switch c := body[i]; {
+		case c >= '0' && c <= '9':
+			if digits > 0 && val == 0 {
+				return nil, &DecodeError{Offset: off, Reason: "leading zero"}
+			}
+			val = val*10 + int(c-'0')
+			digits++
+			if val > maxChoice {
+				return nil, &DecodeError{Offset: start, Reason: fmt.Sprintf("choice exceeds %d", maxChoice)}
+			}
+		case c == '.':
+			if err := flush(off); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, &DecodeError{Offset: off, Reason: fmt.Sprintf("unexpected byte %q", c)}
+		}
+	}
+	if err := flush(len(s)); err != nil {
+		return nil, err
+	}
+	return choices, nil
+}

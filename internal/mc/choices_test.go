@@ -1,0 +1,91 @@
+package mc
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestChoicesRoundTrip(t *testing.T) {
+	cases := [][]int{
+		{},
+		{0},
+		{4},
+		{2, 0, 1},
+		{0, 0, 0, 0},
+		{1048576, 10, 0}, // maxChoice boundary
+	}
+	for _, c := range cases {
+		s := FormatChoices(c)
+		got, err := ParseChoices(s)
+		if err != nil {
+			t.Fatalf("ParseChoices(%q) = %v", s, err)
+		}
+		if !reflect.DeepEqual(got, c) {
+			t.Fatalf("round trip %v -> %q -> %v", c, s, got)
+		}
+	}
+}
+
+func TestFormatChoicesClampsNegative(t *testing.T) {
+	if s := FormatChoices([]int{-3, 1}); s != "c1:0.1" {
+		t.Fatalf("FormatChoices = %q, want c1:0.1", s)
+	}
+}
+
+func TestFormatChoicesEmpty(t *testing.T) {
+	if s := FormatChoices(nil); s != "c1:" {
+		t.Fatalf("FormatChoices(nil) = %q", s)
+	}
+}
+
+func TestParseChoicesErrors(t *testing.T) {
+	cases := []struct {
+		in     string
+		offset int
+		reason string // substring
+	}{
+		{"", 0, "missing"},
+		{"2.0.1", 0, "missing"},
+		{"c2:1.2", 0, "unsupported version"},
+		{"c1:.", 3, "empty choice"},
+		{"c1:2.", 5, "empty choice"},
+		{"c1:2..1", 5, "empty choice"},
+		{"c1:2.x", 5, "unexpected byte"},
+		{"c1:2, 3", 4, "unexpected byte"},
+		{"c1:01", 4, "leading zero"},
+		{"c1:2.00", 6, "leading zero"},
+		{"c1:9999999", 3, "exceeds"},
+	}
+	for _, c := range cases {
+		_, err := ParseChoices(c.in)
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("ParseChoices(%q) = %v, want DecodeError", c.in, err)
+		}
+		if de.Offset != c.offset || !strings.Contains(de.Reason, c.reason) {
+			t.Fatalf("ParseChoices(%q) = %+v, want offset %d reason ~%q", c.in, de, c.offset, c.reason)
+		}
+	}
+}
+
+func TestParseChoicesTooMany(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("c1:1")
+	for i := 0; i < maxChoices; i++ {
+		b.WriteString(".1")
+	}
+	_, err := ParseChoices(b.String())
+	var de *DecodeError
+	if !errors.As(err, &de) || !strings.Contains(de.Reason, "more than") {
+		t.Fatalf("overlong string: err = %v, want too-many DecodeError", err)
+	}
+}
+
+func TestCounterexampleString(t *testing.T) {
+	cx := &Counterexample{Choices: []int{2, 0, 1}}
+	if got := cx.String(); !strings.Contains(got, "c1:2.0.1") {
+		t.Fatalf("Counterexample.String() = %q, want the replay string embedded", got)
+	}
+}

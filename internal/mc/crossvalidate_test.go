@@ -1,0 +1,66 @@
+package mc_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+// Cross-validation between the two bug-finding tools: the exhaustive
+// model checker (small n, every adversary schedule) and the randomized
+// chaos harness (larger n, sampled message-level mischief) must agree on
+// the verdict for the same decision rule. The honest quorum-gated k-set
+// rule passes both; the planted wrong-quorum rule fails both. A
+// violation the sampler can find that exhaustive exploration misses
+// would mean the enumeration (or the reduction) is unsound.
+
+func mcVerdict(t *testing.T, factory core.Factory) bool {
+	t.Helper()
+	res, err := mc.Explore(mc.Options{}, mc.CheckRun(kSetSpec(t, factory)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counterexample == nil && !res.Exhausted {
+		t.Fatal("model checker found nothing but did not exhaust the schedule space")
+	}
+	return res.Counterexample == nil
+}
+
+func chaosVerdict(t *testing.T, buggy bool) bool {
+	t.Helper()
+	sum := chaos.Run(chaos.Config{
+		N: 6, F: 2, K: 3,
+		Runs:          40,
+		Seed:          13,
+		DropRate:      1.0,
+		OmitRate:      0.8,
+		PartitionRate: 0.6,
+		WatchdogSteps: 300,
+		QuorumBug:     buggy,
+		Out:           io.Discard,
+	})
+	return sum.Ok()
+}
+
+func TestCrossValidationHonest(t *testing.T) {
+	mcOK := mcVerdict(t, agreement.QuorumKSet(1))
+	chaosOK := chaosVerdict(t, false)
+	if !mcOK || !chaosOK {
+		t.Fatalf("honest rule verdicts disagree with correctness: mc ok=%v, chaos ok=%v", mcOK, chaosOK)
+	}
+}
+
+func TestCrossValidationBuggy(t *testing.T) {
+	mcOK := mcVerdict(t, agreement.QuorumKSetBuggy(1))
+	chaosOK := chaosVerdict(t, true)
+	if mcOK {
+		t.Fatal("exhaustive exploration missed the planted bug the sampler is expected to find")
+	}
+	if chaosOK {
+		t.Fatal("chaos sampling missed the planted bug exhaustive exploration found")
+	}
+}

@@ -1,0 +1,57 @@
+package mc
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseChoices hammers the choice-string decoder with arbitrary
+// bytes: it must never panic, every failure must be a structured
+// *DecodeError, and anything that decodes must round-trip bit-for-bit
+// through FormatChoices — a torn or overlong counterexample string can
+// never silently replay the wrong schedule. Mirrors internal/wal's
+// FuzzReplay setup; the seed corpus under testdata/fuzz is checked in.
+func FuzzParseChoices(f *testing.F) {
+	f.Add("c1:2.0.1")
+	f.Add("c1:")
+	f.Add("c1:0")
+	f.Add("c1:4")
+	f.Add("")
+	f.Add("c1:2.")       // torn mid-separator
+	f.Add("c1:2.0")      // truncated tail is still valid
+	f.Add("c2:1.2")      // future version
+	f.Add("c1:01")       // leading zero
+	f.Add("c1:99999999") // over maxChoice
+	f.Add("c1:2,3")
+	f.Add("c1:\xff\x00")
+	f.Fuzz(func(t *testing.T, s string) {
+		choices, err := ParseChoices(s)
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("ParseChoices(%q): non-structured error %v", s, err)
+			}
+			if de.Offset < 0 || de.Offset > len(s) {
+				t.Fatalf("ParseChoices(%q): offset %d out of range", s, de.Offset)
+			}
+			return
+		}
+		if len(choices) > maxChoices {
+			t.Fatalf("ParseChoices(%q): %d choices exceeds cap", s, len(choices))
+		}
+		for _, c := range choices {
+			if c < 0 || c > maxChoice {
+				t.Fatalf("ParseChoices(%q): choice %d out of range", s, c)
+			}
+		}
+		// Decoded strings are canonical: format(parse(s)) == s.
+		if got := FormatChoices(choices); got != s {
+			t.Fatalf("ParseChoices(%q) = %v, reformats to %q", s, choices, got)
+		}
+		again, err := ParseChoices(FormatChoices(choices))
+		if err != nil || !reflect.DeepEqual(again, choices) {
+			t.Fatalf("round trip of %v failed: %v, %v", choices, again, err)
+		}
+	})
+}

@@ -30,6 +30,7 @@ type Metrics struct {
 	events             map[string]int64
 	faults             FaultSnapshot
 	recovery           RecoverySnapshot
+	mc                 MCSnapshot
 }
 
 // FaultSnapshot aggregates injected-fault and link-recovery counters,
@@ -97,6 +98,32 @@ type RecoverySnapshot struct {
 
 func (r RecoverySnapshot) empty() bool { return r == RecoverySnapshot{} }
 
+// MCSnapshot aggregates model-checking counters, derived from the mc.*
+// event stream emitted by internal/mc explorations.
+type MCSnapshot struct {
+	// Explorations counts completed Explore calls (mc.done events).
+	Explorations int64 `json:"explorations"`
+
+	// Schedules counts executed schedules; Sampled the subset completed
+	// by the bounded-depth random frontier instead of enumeration.
+	Schedules int64 `json:"schedules"`
+	Sampled   int64 `json:"sampled"`
+
+	// Pruned counts subtrees cut by state-hash pruning; SymmetrySkips and
+	// SleepSkips count options skipped by the two partial-order
+	// reductions (totals from mc.done).
+	Pruned        int64 `json:"pruned"`
+	SymmetrySkips int64 `json:"symmetry_skips"`
+	SleepSkips    int64 `json:"sleep_skips"`
+
+	// Violations counts counterexamples found; MaxDepth is the deepest
+	// choice-tree node reached by any exploration.
+	Violations int64 `json:"violations"`
+	MaxDepth   int64 `json:"max_depth"`
+}
+
+func (m MCSnapshot) empty() bool { return m == MCSnapshot{} }
+
 // NewMetrics returns an empty Metrics.
 func NewMetrics() *Metrics {
 	m := &Metrics{}
@@ -115,6 +142,7 @@ func (m *Metrics) reset() {
 	m.events = make(map[string]int64)
 	m.faults = FaultSnapshot{}
 	m.recovery = RecoverySnapshot{}
+	m.mc = MCSnapshot{}
 }
 
 // Reset clears every counter and histogram.
@@ -233,6 +261,21 @@ func (m *Metrics) Event(kind string, r, p int, fields map[string]any) {
 		m.recovery.LostRecords += asInt64(fields["lost_records"])
 	case "recovery.rejoin":
 		m.recovery.Rejoins++
+	case "mc.schedule":
+		m.mc.Schedules++
+	case "mc.sample":
+		m.mc.Sampled++
+	case "mc.prune":
+		m.mc.Pruned++
+	case "mc.violation":
+		m.mc.Violations++
+	case "mc.done":
+		m.mc.Explorations++
+		m.mc.SymmetrySkips += asInt64(fields["symmetry_skips"])
+		m.mc.SleepSkips += asInt64(fields["sleep_skips"])
+		if d := asInt64(fields["max_depth"]); d > m.mc.MaxDepth {
+			m.mc.MaxDepth = d
+		}
 	case "recovery.checkpoint":
 		m.recovery.Checkpoints++
 		m.recovery.CheckpointBytes += asInt64(fields["bytes"])
@@ -318,6 +361,10 @@ type Snapshot struct {
 	// Recovery aggregates crash-recovery work (restarts, journal replays,
 	// checkpoints, WAL resumes); omitted when none was observed.
 	Recovery *RecoverySnapshot `json:"recovery,omitempty"`
+
+	// MC aggregates model-checking explorations (schedules, reductions,
+	// violations); omitted when no mc.* event was observed.
+	MC *MCSnapshot `json:"mc,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the current state.
@@ -359,6 +406,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	if !m.recovery.empty() {
 		r := m.recovery
 		s.Recovery = &r
+	}
+	if !m.mc.empty() {
+		mc := m.mc
+		s.MC = &mc
 	}
 	return s
 }

@@ -216,3 +216,46 @@ func TestMetricsRecoveryCounters(t *testing.T) {
 		t.Fatal("Reset did not clear recovery counters")
 	}
 }
+
+// TestMetricsMCCounters checks that mc.* events feed the MCSnapshot and
+// that exploration-free snapshots omit it.
+func TestMetricsMCCounters(t *testing.T) {
+	m := NewMetrics()
+	if m.Snapshot().MC != nil {
+		t.Fatal("mc-free snapshot should omit MC")
+	}
+	m.Event("mc.schedule", -1, -1, map[string]any{"depth": 3})
+	m.Event("mc.schedule", -1, -1, map[string]any{"depth": 4})
+	m.Event("mc.sample", -1, -1, map[string]any{"depth": 4})
+	m.Event("mc.prune", -1, -1, map[string]any{"depth": 2})
+	m.Event("mc.violation", -1, -1, map[string]any{"choices": "c1:4", "len": 1})
+	m.Event("mc.done", -1, -1, map[string]any{
+		"schedules": 2, "pruned": 1, "sampled": 1,
+		"max_depth": 4, "symmetry_skips": 5, "sleep_skips": 6,
+	})
+
+	mc := m.Snapshot().MC
+	if mc == nil {
+		t.Fatal("MC missing from snapshot")
+	}
+	want := MCSnapshot{
+		Explorations: 1, Schedules: 2, Sampled: 1, Pruned: 1,
+		SymmetrySkips: 5, SleepSkips: 6, Violations: 1, MaxDepth: 4,
+	}
+	if *mc != want {
+		t.Fatalf("mc = %+v, want %+v", *mc, want)
+	}
+
+	b, err := m.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"mc"`) || !strings.Contains(string(b), `"schedules": 2`) {
+		t.Fatalf("JSON lacks mc counters:\n%s", b)
+	}
+
+	m.Reset()
+	if m.Snapshot().MC != nil {
+		t.Fatal("Reset did not clear mc counters")
+	}
+}

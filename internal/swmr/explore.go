@@ -5,11 +5,30 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/mc"
 )
 
-// ErrExploreLimit is returned by Explore when maxSchedules executions were
-// run without exhausting the schedule space.
+// ErrExploreLimit is matched (via errors.Is) by the error Explore returns
+// when maxSchedules executions were run without exhausting the schedule
+// space. The concrete error is an *ExploreLimitError carrying the count.
 var ErrExploreLimit = errors.New("swmr: schedule space not exhausted within limit")
+
+// ExploreLimitError reports an un-exhausted schedule space together with
+// the schedules that did run, so callers that only propagate the error —
+// not the count return value — lose no information.
+type ExploreLimitError struct {
+	// Schedules is how many schedules executed before the limit.
+	Schedules int
+}
+
+// Error implements error.
+func (e *ExploreLimitError) Error() string {
+	return fmt.Sprintf("swmr: schedule space not exhausted within limit (%d schedules run)", e.Schedules)
+}
+
+// Is reports ErrExploreLimit equivalence, keeping errors.Is(err,
+// ErrExploreLimit) working across the structured upgrade.
+func (e *ExploreLimitError) Is(target error) bool { return target == ErrExploreLimit }
 
 // NondeterministicReplayError is returned by Explore when replaying a
 // schedule prefix presented a different number of runnable options than the
@@ -35,67 +54,42 @@ func (e *NondeterministicReplayError) Error() string {
 // (e.g. a property violation, wrapped with context). Explore returns the
 // number of schedules executed.
 //
-// The search is a depth-first enumeration of the scheduler's choice tree. It
-// is exhaustive for terminating systems; maxSchedules caps the search and
-// ErrExploreLimit reports an un-exhausted space.
+// The search is a depth-first enumeration of the scheduler's choice tree,
+// delegated to the substrate-agnostic explorer in internal/mc. It is
+// exhaustive for terminating systems; maxSchedules caps the search and an
+// *ExploreLimitError (matching ErrExploreLimit) reports an un-exhausted
+// space. No reduction is applied: every interleaving is its own schedule,
+// so counts are exactly the tree's leaf count.
 func Explore(maxSchedules int, run func(ch Chooser) error) (int, error) {
-	type frame struct {
-		choice  int
-		options int
-	}
-	var stack []frame
+	res, err := mc.Explore(mc.Options{
+		MaxSchedules: maxSchedules,
+		// run closures routinely capture counters (see internal/exp), so
+		// the subtrees must share the caller's goroutine.
+		Workers: 1,
+		// Keep the historical contract: the violating schedule is
+		// reported exactly as found.
+		NoShrink: true,
+	}, func(ctx *mc.Ctx) error {
+		return run(func(step int, runnable []core.PID) int {
+			return ctx.Choose(len(runnable))
+		})
+	})
 	schedules := 0
-	for {
-		depth := 0
-		var replayErr *NondeterministicReplayError
-		ch := func(step int, runnable []core.PID) int {
-			if depth == len(stack) {
-				stack = append(stack, frame{choice: 0, options: len(runnable)})
-			}
-			f := &stack[depth]
-			if f.options != len(runnable) && replayErr == nil {
-				// The tree is deterministic given the prefix; a mismatch
-				// means run is not replayable. The chooser cannot fail, so
-				// record the divergence and keep returning in-range choices
-				// until run comes back; Explore aborts then.
-				replayErr = &NondeterministicReplayError{
-					Depth: depth, Want: f.options, Got: len(runnable),
-				}
-			}
-			depth++
-			if replayErr != nil {
-				if f.choice < len(runnable) {
-					return f.choice
-				}
-				return 0
-			}
-			return f.choice
-		}
-		err := run(ch)
-		if replayErr != nil {
-			// The divergence invalidates whatever run reported.
-			return schedules, replayErr
-		}
-		if err != nil {
-			return schedules, err
-		}
-		schedules++
-		if schedules >= maxSchedules {
-			return schedules, ErrExploreLimit
-		}
-		// Backtrack: drop the unexplored tail recorded beyond this run's
-		// depth, then advance the deepest choice with options left.
-		stack = stack[:depth]
-		for len(stack) > 0 {
-			last := &stack[len(stack)-1]
-			if last.choice+1 < last.options {
-				last.choice++
-				break
-			}
-			stack = stack[:len(stack)-1]
-		}
-		if len(stack) == 0 {
-			return schedules, nil
-		}
+	if res != nil {
+		schedules = res.Schedules
 	}
+	var div *mc.DivergenceError
+	if errors.As(err, &div) {
+		return schedules, &NondeterministicReplayError{Depth: div.Depth, Want: div.Want, Got: div.Got}
+	}
+	if err != nil {
+		return schedules, err
+	}
+	if res.Counterexample != nil {
+		return schedules, res.Counterexample.Err
+	}
+	if res.LimitHit {
+		return schedules, &ExploreLimitError{Schedules: schedules}
+	}
+	return schedules, nil
 }

@@ -3,6 +3,7 @@ package swmr
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -402,5 +403,27 @@ func TestExploreNondeterministicReplay(t *testing.T) {
 	}
 	if nde.Depth != 0 || nde.Want != 2 || nde.Got != 3 {
 		t.Fatalf("divergence %+v, want depth 0 with 2 recorded vs 3 observed", nde)
+	}
+}
+
+// TestExploreLimitCarriesCount: the structured *ExploreLimitError reports
+// how many schedules ran before the limit, so callers that only keep the
+// error lose no information.
+func TestExploreLimitCarriesCount(t *testing.T) {
+	count, err := Explore(2, func(ch Chooser) error {
+		_, err := Run(3, Config{Chooser: ch}, func(p *Proc) (core.Value, error) {
+			return nil, p.Write("x", 1)
+		})
+		return err
+	})
+	var limit *ExploreLimitError
+	if !errors.As(err, &limit) {
+		t.Fatalf("err = %v, want *ExploreLimitError", err)
+	}
+	if limit.Schedules != count || limit.Schedules == 0 {
+		t.Fatalf("limit.Schedules = %d, return value %d; want equal and nonzero", limit.Schedules, count)
+	}
+	if !strings.Contains(limit.Error(), "schedules run") {
+		t.Fatalf("error text lacks the count: %q", limit.Error())
 	}
 }
