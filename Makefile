@@ -8,7 +8,7 @@ GO ?= go
 BENCH_PKGS := ./internal/core ./internal/agreement ./internal/chaos
 BENCH_PAT  ?= .
 
-.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover
+.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover telemetry-short
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-ci: vet build race chaos-short recovery-short mc-short mc-cover
+ci: vet build race chaos-short recovery-short mc-short mc-cover telemetry-short
 
 # Fixed-seed, small-N fault-injection campaigns under the race detector:
 # quick enough for every CI run, loud on any safety violation (the chaos
@@ -65,6 +65,20 @@ mc-cover:
 		for (i = 1; i <= NF; i++) if ($$i == "coverage:") c = substr($$(i+1), 1, length($$(i+1))-1); \
 		print } END { \
 		if (c + 0 < 85) { print "internal/mc coverage " c "% below 85% floor"; exit 1 } }'
+
+# Telemetry smoke under the race detector: a single run writes a Perfetto
+# trace and a metrics snapshot; the planted-bug chaos campaign must fail
+# (the leading ! inverts the expected exit 1) AND replay its first
+# violation into a trace; both files must be non-empty.
+telemetry-short:
+	dir=$$(mktemp -d) && \
+	$(GO) run -race ./cmd/rrfdsim -system kset -k 2 -n 6 -alg kset -seed 3 \
+		-metrics -perfetto $$dir/run.json && \
+	test -s $$dir/run.json && \
+	! $(GO) run -race ./cmd/rrfdsim -chaos -n 6 -f 2 -k 3 -runs 60 -seed 13 \
+		-drop 1.0 -omit 0.8 -partition 0.6 -watchdog 300 -bug \
+		-perfetto $$dir/chaos.json && \
+	test -s $$dir/chaos.json && rm -rf $$dir
 
 # The larger sweep: every fault class, more seeds, more runs.
 chaos:

@@ -13,8 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -27,7 +25,8 @@ func main() {
 	only := flag.String("only", "", "run only the experiment with this ID (e.g. E07)")
 	metrics := flag.Bool("metrics", false, "print an engine metrics summary after each experiment")
 	workers := flag.Int("workers", 0, "workers for experiment seed sweeps (0 = one per CPU, 1 = sequential)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /snapshot and /debug/pprof on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "alias for -telemetry (the endpoint includes /debug/pprof)")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -36,22 +35,17 @@ func main() {
 	}
 	rrfd.SetExperimentWorkers(*workers)
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
-			}
-		}()
-		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	addr := *telemetryAddr
+	if addr == "" {
+		addr = *pprofAddr
 	}
-
-	if err := run(*quick, *only, *metrics); err != nil {
+	if err := run(*quick, *only, *metrics, addr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, only string, metrics bool) error {
+func run(quick bool, only string, metrics bool, telemetryAddr string) error {
 	mode := "full"
 	if quick {
 		mode = "quick"
@@ -59,14 +53,31 @@ func run(quick bool, only string, metrics bool) error {
 	fmt.Printf("RRFD paper experiments (%s mode)\n", mode)
 	fmt.Printf("Gafni, \"Round-by-Round Fault Detectors: Unifying Synchrony and Asynchrony\", PODC 1998\n\n")
 
-	// With -metrics, every engine execution inside every experiment reports
-	// to one shared Metrics via the process-wide default observer — no
-	// experiment needs to know it is being measured.
+	// With -metrics or -telemetry, every engine execution inside every
+	// experiment reports to one shared Metrics via the process-wide default
+	// observer — no experiment needs to know it is being measured — and the
+	// seed-sweep worker pool meters task latency into the same registry.
 	var m *rrfd.Metrics
-	if metrics {
-		m = rrfd.NewMetrics()
-		rrfd.SetDefaultObserver(m)
+	if metrics || telemetryAddr != "" {
+		tel := rrfd.NewTelemetry()
+		rrfd.SetDefaultObserver(tel.Metrics)
 		defer rrfd.SetDefaultObserver(nil)
+		rrfd.SetPoolMeter(&rrfd.PoolMeter{
+			TaskNS:     tel.Hist.Get("par_task_ns"),
+			QueueDepth: tel.Hist.Get("par_queue_depth"),
+		})
+		defer rrfd.SetPoolMeter(nil)
+		if metrics {
+			m = tel.Metrics
+		}
+		if telemetryAddr != "" {
+			srv, err := rrfd.ServeTelemetry(telemetryAddr, tel)
+			if err != nil {
+				return fmt.Errorf("telemetry listener: %w", err)
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry listening on http://%s/ (/metrics, /snapshot, /debug/pprof/)\n\n", srv.Addr())
+		}
 	}
 
 	ran := 0

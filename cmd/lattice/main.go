@@ -17,8 +17,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 
 	rrfd "repro"
@@ -26,15 +24,21 @@ import (
 
 func main() {
 	rounds := flag.Int("rounds", 1, "rounds per trace (1 or 2; 2 covers temporal predicates)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (the exhaustive sweeps are CPU-bound; e.g. localhost:6060)")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /snapshot and /debug/pprof on this address (the exhaustive sweeps are CPU-bound; e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "alias for -telemetry (the endpoint includes /debug/pprof)")
 	flag.Parse()
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
-			}
-		}()
-		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	addr := *telemetryAddr
+	if addr == "" {
+		addr = *pprofAddr
+	}
+	if addr != "" {
+		srv, err := rrfd.ServeTelemetry(addr, rrfd.NewTelemetry())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry listening on http://%s/ (/metrics, /snapshot, /debug/pprof/)\n", srv.Addr())
 	}
 	if err := run(*rounds); err != nil {
 		fmt.Fprintln(os.Stderr, err)

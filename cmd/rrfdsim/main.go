@@ -4,9 +4,14 @@
 // predicate on the recorded execution.
 //
 // Observability: -metrics prints a JSON metrics snapshot (rounds to
-// decision, suspicions, D-set size histogram, per-phase wall time),
-// -events FILE streams the execution as JSONL structured events, and
-// -pprof ADDR serves net/http/pprof for live profiling.
+// decision, suspicions, D-set size histogram, per-phase latency
+// histograms), -events FILE streams the execution as JSONL structured
+// events, -perfetto FILE writes the execution as a causal Chrome/Perfetto
+// trace (round/phase spans, Emit→Deliver message flows, suspicion and
+// decide instants — with -chaos it traces the first violation's minimized
+// replay, with -mc-replay the replayed schedule), and -telemetry ADDR
+// serves /metrics (Prometheus text), /snapshot (JSON) and /debug/pprof
+// live while the process runs (-pprof is an alias).
 //
 // Robustness: -chaos switches to the randomized fault-injection campaign —
 // N seeded executions of async k-set agreement over reliable links on a
@@ -39,6 +44,7 @@
 //
 //	go run ./cmd/rrfdsim -system kset -k 2 -n 8 -alg kset
 //	go run ./cmd/rrfdsim -system kset -k 2 -n 8 -alg kset -metrics -events events.jsonl
+//	go run ./cmd/rrfdsim -system kset -k 2 -n 8 -alg kset -perfetto trace.json -telemetry localhost:6060
 //	go run ./cmd/rrfdsim -system crash -n 8 -f 3 -alg floodmin
 //	go run ./cmd/rrfdsim -system s -n 6 -alg coordinator -trace
 //	go run ./cmd/rrfdsim -system snapshot -n 6 -f 2 -alg none -rounds 4
@@ -63,8 +69,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 
 	rrfd "repro"
@@ -81,6 +85,8 @@ type config struct {
 	outFile     string
 	metrics     bool
 	eventsFile  string
+	perfetto    string
+	telemetry   string
 
 	// crash-recovery flags
 	ckptDir      string
@@ -125,6 +131,8 @@ func main() {
 	flag.StringVar(&cfg.outFile, "o", "", "write the execution trace as JSON to this file")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print a JSON metrics snapshot after the run")
 	flag.StringVar(&cfg.eventsFile, "events", "", "stream structured JSONL events to this file")
+	flag.StringVar(&cfg.perfetto, "perfetto", "", "write the execution as Chrome/Perfetto trace-event JSON to this file (with -chaos: the first violation's replay; with -mc: requires -mc-replay)")
+	flag.StringVar(&cfg.telemetry, "telemetry", "", "serve /metrics, /snapshot and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.StringVar(&cfg.ckptDir, "checkpoint", "", "journal the execution to a WAL in this directory (resumable with -resume)")
 	flag.IntVar(&cfg.snapEvery, "snap-every", 2, "checkpoint: snapshot cadence in rounds (0 = round log only, resume replays)")
 	flag.IntVar(&cfg.killAfter, "kill-after", 0, "kill the run after this round completes and is journaled (requires -checkpoint)")
@@ -147,16 +155,11 @@ func main() {
 	flag.IntVar(&cfg.crashes, "crashes", 0, "chaos modes: max crash failures per run (clamped to f)")
 	flag.IntVar(&cfg.watchdog, "watchdog", 0, "chaos modes: round watchdog in steps (0 = default)")
 	flag.BoolVar(&cfg.bug, "bug", false, "plant a bug the harness catches: sub-quorum decision (-chaos) or amnesia (-chaos-recover)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	pprofAddr := flag.String("pprof", "", "alias for -telemetry (the endpoint includes /debug/pprof)")
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
-			}
-		}()
-		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	if cfg.telemetry == "" {
+		cfg.telemetry = *pprofAddr
 	}
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -169,14 +172,37 @@ func run(cfg config, w io.Writer) error {
 	if err := validate(cfg); err != nil {
 		return err
 	}
+
+	// One Telemetry per process: its Metrics joins every mode's observer
+	// chain, its histogram registry receives the non-observer meters
+	// (chaos per-run wall time, par task latency / queue depth, mc
+	// schedule rate), and the optional endpoint serves both live.
+	var tel *rrfd.Telemetry
+	if cfg.metrics || cfg.telemetry != "" {
+		tel = rrfd.NewTelemetry()
+		rrfd.SetPoolMeter(&rrfd.PoolMeter{
+			TaskNS:     tel.Hist.Get("par_task_ns"),
+			QueueDepth: tel.Hist.Get("par_queue_depth"),
+		})
+		defer rrfd.SetPoolMeter(nil)
+	}
+	if cfg.telemetry != "" {
+		srv, err := rrfd.ServeTelemetry(cfg.telemetry, tel)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "telemetry listening on http://%s/ (/metrics, /snapshot, /debug/pprof/)\n", srv.Addr())
+	}
+
 	if cfg.mc {
-		return runMC(cfg, w)
+		return runMC(cfg, tel, w)
 	}
 	if cfg.chaos {
-		return runChaos(cfg, w)
+		return runChaos(cfg, tel, w)
 	}
 	if cfg.chaosRecover {
-		return runChaosRecover(cfg, w)
+		return runChaosRecover(cfg, tel, w)
 	}
 
 	var (
@@ -209,13 +235,14 @@ func run(cfg config, w io.Writer) error {
 		return fmt.Errorf("unknown system %q", cfg.system)
 	}
 
-	// Observability wiring: metrics and the JSONL event sink both hang off
-	// the same observer fan-out.
+	// Observability wiring: metrics, the JSONL event sink and the causal
+	// tracer all hang off the same observer fan-out.
 	var metrics *rrfd.Metrics
 	var events *rrfd.EventLog
 	var eventsBuf *bufio.Writer
-	if cfg.metrics {
-		metrics = rrfd.NewMetrics()
+	var tracer *rrfd.Tracer
+	if tel != nil {
+		metrics = tel.Metrics
 	}
 	if cfg.eventsFile != "" {
 		file, err := os.Create(cfg.eventsFile)
@@ -226,7 +253,10 @@ func run(cfg config, w io.Writer) error {
 		eventsBuf = bufio.NewWriter(file)
 		events = rrfd.NewEventLog(eventsBuf)
 	}
-	observer := rrfd.MultiObserver(metrics, events)
+	if cfg.perfetto != "" {
+		tracer = rrfd.NewTracer()
+	}
+	observer := rrfd.MultiObserver(metrics, events, tracer)
 
 	var opts []rrfd.Option
 	if observer != nil {
@@ -261,12 +291,18 @@ func run(cfg config, w io.Writer) error {
 			}
 			fmt.Fprintf(w, "%d events written to %s\n", events.Lines(), cfg.eventsFile)
 		}
-		if metrics != nil {
+		if metrics != nil && cfg.metrics {
 			b, err := metrics.Snapshot().JSON()
 			if err != nil {
 				return fmt.Errorf("encode metrics: %w", err)
 			}
 			fmt.Fprintf(w, "metrics:\n%s\n", b)
+		}
+		if tracer != nil {
+			if err := tracer.ExportFile(cfg.perfetto); err != nil {
+				return fmt.Errorf("write perfetto trace: %w", err)
+			}
+			fmt.Fprintf(w, "perfetto trace written to %s\n", cfg.perfetto)
 		}
 		if tr != nil {
 			return report(w, pred, tr)
@@ -362,12 +398,12 @@ func run(cfg config, w io.Writer) error {
 // runChaos executes the randomized fault-injection campaign, streaming the
 // per-violation reports and the final summary to w. A campaign with safety
 // violations is an error, so CI fails loudly.
-func runChaos(cfg config, w io.Writer) error {
+func runChaos(cfg config, tel *rrfd.Telemetry, w io.Writer) error {
 	var metrics *rrfd.Metrics
 	var events *rrfd.EventLog
 	var eventsBuf *bufio.Writer
-	if cfg.metrics {
-		metrics = rrfd.NewMetrics()
+	if tel != nil {
+		metrics = tel.Metrics
 	}
 	if cfg.eventsFile != "" {
 		file, err := os.Create(cfg.eventsFile)
@@ -379,7 +415,60 @@ func runChaos(cfg config, w io.Writer) error {
 		events = rrfd.NewEventLog(eventsBuf)
 	}
 
-	sum := rrfd.ChaosRun(rrfd.ChaosConfig{
+	ccfg := chaosConfig(cfg)
+	ccfg.Observer = rrfd.MultiObserver(metrics, events)
+	ccfg.Out = w
+	if tel != nil {
+		ccfg.Telemetry = tel.Hist
+	}
+	sum := rrfd.ChaosRun(ccfg)
+
+	if events != nil {
+		if err := eventsBuf.Flush(); err != nil {
+			return fmt.Errorf("flush events: %w", err)
+		}
+		if err := events.Err(); err != nil {
+			return fmt.Errorf("write events: %w", err)
+		}
+		fmt.Fprintf(w, "%d events written to %s\n", events.Lines(), cfg.eventsFile)
+	}
+	if metrics != nil && cfg.metrics {
+		b, err := metrics.Snapshot().JSON()
+		if err != nil {
+			return fmt.Errorf("encode metrics: %w", err)
+		}
+		fmt.Fprintf(w, "metrics:\n%s\n", b)
+	}
+	if cfg.perfetto != "" {
+		if len(sum.Violations) == 0 {
+			fmt.Fprintf(w, "no violation to trace: %s not written\n", cfg.perfetto)
+		} else {
+			// Replay the first violation's minimized scenario sequentially
+			// under a tracer: the Perfetto file shows the counterexample
+			// as a causal diagram, byte-identical across reruns.
+			v := sum.Violations[0]
+			tracer := rrfd.NewTracer()
+			replay := chaosConfig(cfg)
+			replay.Observer = tracer
+			if err := rrfd.ChaosReplay(replay, v); err != nil {
+				return fmt.Errorf("replay violation: %w", err)
+			}
+			if err := tracer.ExportFile(cfg.perfetto); err != nil {
+				return fmt.Errorf("write perfetto trace: %w", err)
+			}
+			fmt.Fprintf(w, "perfetto trace of violation (run %d, minimized plan) written to %s\n", v.Run, cfg.perfetto)
+		}
+	}
+	if !sum.Ok() {
+		return fmt.Errorf("chaos: %d safety violation(s) in %d runs", len(sum.Violations), sum.Runs)
+	}
+	return nil
+}
+
+// chaosConfig maps the chaos flags onto a campaign config; the caller
+// fills in the sinks (Observer, Out, Telemetry).
+func chaosConfig(cfg config) rrfd.ChaosConfig {
+	return rrfd.ChaosConfig{
 		N: cfg.n, F: cfg.f, K: cfg.k,
 		Rounds:        cfg.rounds,
 		Runs:          cfg.runs,
@@ -394,41 +483,18 @@ func runChaos(cfg config, w io.Writer) error {
 		WatchdogSteps: cfg.watchdog,
 		QuorumBug:     cfg.bug,
 		Workers:       cfg.workers,
-		Observer:      rrfd.MultiObserver(metrics, events),
-		Out:           w,
-	})
-
-	if events != nil {
-		if err := eventsBuf.Flush(); err != nil {
-			return fmt.Errorf("flush events: %w", err)
-		}
-		if err := events.Err(); err != nil {
-			return fmt.Errorf("write events: %w", err)
-		}
-		fmt.Fprintf(w, "%d events written to %s\n", events.Lines(), cfg.eventsFile)
 	}
-	if metrics != nil {
-		b, err := metrics.Snapshot().JSON()
-		if err != nil {
-			return fmt.Errorf("encode metrics: %w", err)
-		}
-		fmt.Fprintf(w, "metrics:\n%s\n", b)
-	}
-	if !sum.Ok() {
-		return fmt.Errorf("chaos: %d safety violation(s) in %d runs", len(sum.Violations), sum.Runs)
-	}
-	return nil
 }
 
 // runChaosRecover executes the crash-and-recover campaign: every run
 // crashes at least one process, usually restarts it from its durable
 // journal, and audits the outcome's safety.
-func runChaosRecover(cfg config, w io.Writer) error {
+func runChaosRecover(cfg config, tel *rrfd.Telemetry, w io.Writer) error {
 	var metrics *rrfd.Metrics
 	var events *rrfd.EventLog
 	var eventsBuf *bufio.Writer
-	if cfg.metrics {
-		metrics = rrfd.NewMetrics()
+	if tel != nil {
+		metrics = tel.Metrics
 	}
 	if cfg.eventsFile != "" {
 		file, err := os.Create(cfg.eventsFile)
@@ -440,7 +506,7 @@ func runChaosRecover(cfg config, w io.Writer) error {
 		events = rrfd.NewEventLog(eventsBuf)
 	}
 
-	sum := rrfd.RecoverChaosRun(rrfd.RecoverChaosConfig{
+	rcfg := rrfd.RecoverChaosConfig{
 		N: cfg.n, F: cfg.f,
 		Rounds:        cfg.rounds,
 		Runs:          cfg.runs,
@@ -453,7 +519,11 @@ func runChaosRecover(cfg config, w io.Writer) error {
 		Workers:       cfg.workers,
 		Observer:      rrfd.MultiObserver(metrics, events),
 		Out:           w,
-	})
+	}
+	if tel != nil {
+		rcfg.Telemetry = tel.Hist
+	}
+	sum := rrfd.RecoverChaosRun(rcfg)
 
 	if events != nil {
 		if err := eventsBuf.Flush(); err != nil {
@@ -464,7 +534,7 @@ func runChaosRecover(cfg config, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%d events written to %s\n", events.Lines(), cfg.eventsFile)
 	}
-	if metrics != nil {
+	if metrics != nil && cfg.metrics {
 		b, err := metrics.Snapshot().JSON()
 		if err != nil {
 			return fmt.Errorf("encode metrics: %w", err)
@@ -506,6 +576,12 @@ func validate(cfg config) error {
 	}
 	if cfg.mcReplay != "" && !cfg.mc {
 		return fmt.Errorf("-mc-replay replays a model-checking schedule: add -mc")
+	}
+	if cfg.perfetto != "" && cfg.mc && cfg.mcReplay == "" {
+		return fmt.Errorf("-perfetto traces one execution: with -mc add -mc-replay")
+	}
+	if cfg.perfetto != "" && cfg.chaosRecover {
+		return fmt.Errorf("-perfetto does not trace recovery campaigns: drop -chaos-recover")
 	}
 	if cfg.chaos && (cfg.dumpTrace || cfg.outFile != "") {
 		return fmt.Errorf("-chaos runs many executions and records no single trace: drop -trace/-o")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	rrfd "repro"
 )
@@ -14,7 +15,7 @@ import (
 // a small system, checking validity and k-agreement on every schedule.
 // A violation prints a shrunk, replayable counterexample and exits
 // non-zero; -mc-replay re-executes one recorded schedule.
-func runMC(cfg config, w io.Writer) error {
+func runMC(cfg config, tel *rrfd.Telemetry, w io.Writer) error {
 	n, f, k := cfg.n, cfg.f, cfg.k
 
 	var (
@@ -68,7 +69,7 @@ func runMC(cfg config, w io.Writer) error {
 		return fmt.Errorf("-bug plants the wrong-quorum decision rule: use -alg qkset")
 	}
 
-	run := rrfd.MCCheckRun(rrfd.MCRunSpec{
+	spec := rrfd.MCRunSpec{
 		N:       n,
 		Inputs:  inputs,
 		Factory: factory,
@@ -80,14 +81,31 @@ func runMC(cfg config, w io.Writer) error {
 			rrfd.MCKAgreement(bound),
 		},
 		Mark: true,
-	})
+	}
+
+	// A replayed counterexample is a single deterministic execution, so it
+	// can carry a causal tracer; validate() rejects -perfetto for the
+	// exploration itself (thousands of interleaved schedules).
+	var tracer *rrfd.Tracer
+	if cfg.mcReplay != "" && cfg.perfetto != "" {
+		tracer = rrfd.NewTracer()
+		spec.Observer = tracer
+	}
+	run := rrfd.MCCheckRun(spec)
 
 	if cfg.mcReplay != "" {
 		choices, err := rrfd.ParseChoices(cfg.mcReplay)
 		if err != nil {
 			return err
 		}
-		if rerr := rrfd.MCReplay(choices, run); rerr != nil {
+		rerr := rrfd.MCReplay(choices, run)
+		if tracer != nil {
+			if err := tracer.ExportFile(cfg.perfetto); err != nil {
+				return fmt.Errorf("write perfetto trace: %w", err)
+			}
+			fmt.Fprintf(w, "perfetto trace written to %s\n", cfg.perfetto)
+		}
+		if rerr != nil {
 			fmt.Fprintf(w, "replay %s: violation reproduced: %v\n", cfg.mcReplay, rerr)
 			return fmt.Errorf("mc: replayed schedule violates its properties")
 		}
@@ -98,8 +116,8 @@ func runMC(cfg config, w io.Writer) error {
 	var metrics *rrfd.Metrics
 	var events *rrfd.EventLog
 	var eventsBuf *bufio.Writer
-	if cfg.metrics {
-		metrics = rrfd.NewMetrics()
+	if tel != nil {
+		metrics = tel.Metrics
 	}
 	if cfg.eventsFile != "" {
 		file, err := os.Create(cfg.eventsFile)
@@ -122,9 +140,18 @@ func runMC(cfg config, w io.Writer) error {
 		opts.Observer = observer
 	}
 
+	start := time.Now()
 	res, err := rrfd.MCExplore(opts, run)
 	if err != nil {
 		return err
+	}
+	// Exploration throughput goes to the telemetry registry only — the
+	// printed report stays wall-time free, so fixed seeds keep producing
+	// byte-identical output.
+	if tel != nil {
+		if secs := time.Since(start).Seconds(); secs > 0 {
+			tel.Hist.Get("mc_schedules_per_sec").Record(int64(float64(res.Schedules) / secs))
+		}
 	}
 
 	fmt.Fprintf(w, "mc: system=%s alg=%s n=%d f=%d k=%d bound=%d\n",
@@ -141,7 +168,7 @@ func runMC(cfg config, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%d events written to %s\n", events.Lines(), cfg.eventsFile)
 	}
-	if metrics != nil {
+	if metrics != nil && cfg.metrics {
 		b, err := metrics.Snapshot().JSON()
 		if err != nil {
 			return fmt.Errorf("encode metrics: %w", err)

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readTraceEvents parses a Perfetto trace file and returns its events.
+func readTraceEvents(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &file); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	return file.TraceEvents
+}
+
+func TestValidateRejectsPerfettoMCWithoutReplay(t *testing.T) {
+	cfg := baseConfig()
+	cfg.mc = true
+	cfg.system = "async"
+	cfg.perfetto = "t.json"
+	err := validate(cfg)
+	if err == nil || !strings.Contains(err.Error(), "-mc-replay") {
+		t.Fatalf("want an error pointing at -mc-replay, got %v", err)
+	}
+}
+
+func TestValidateRejectsPerfettoChaosRecover(t *testing.T) {
+	cfg := baseConfig()
+	cfg.chaosRecover = true
+	cfg.perfetto = "t.json"
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -perfetto with -chaos-recover")
+	}
+}
+
+// TestRunPerfettoSingleRun: a traced single execution writes a valid
+// Perfetto file, byte-identical across reruns of the same seed.
+func TestRunPerfettoSingleRun(t *testing.T) {
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
+	for _, p := range paths {
+		cfg := baseConfig()
+		cfg.perfetto = p
+		var buf bytes.Buffer
+		if err := run(cfg, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "perfetto trace written to") {
+			t.Fatalf("output missing the perfetto report:\n%s", buf.String())
+		}
+		readTraceEvents(t, p)
+	}
+	a, _ := os.ReadFile(paths[0])
+	b, _ := os.ReadFile(paths[1])
+	if !bytes.Equal(a, b) {
+		t.Fatal("perfetto trace differs between identical runs")
+	}
+}
+
+// TestRunChaosPerfetto: with the planted quorum bug the campaign fails AND
+// replays its first violation into a valid Perfetto trace; without
+// violations the file is explicitly skipped, not silently empty.
+func TestRunChaosPerfetto(t *testing.T) {
+	cfg := baseConfig()
+	cfg.chaos = true
+	cfg.n, cfg.f, cfg.k = 6, 2, 3
+	cfg.runs, cfg.seed = 60, 13
+	cfg.drop, cfg.omit, cfg.partition = 1.0, 0.8, 0.6
+	cfg.watchdog = 300
+	cfg.bug = true
+	cfg.perfetto = filepath.Join(t.TempDir(), "cx.json")
+	var buf bytes.Buffer
+	err := run(cfg, &buf)
+	if err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("planted bug campaign should fail with violations, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "perfetto trace of violation") {
+		t.Fatalf("output missing the violation trace report:\n%s", buf.String())
+	}
+	readTraceEvents(t, cfg.perfetto)
+
+	cfg.bug = false
+	cfg.drop = 0.2
+	cfg.omit, cfg.partition = 0, 0
+	cfg.watchdog = 0
+	buf.Reset()
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no violation to trace") {
+		t.Fatalf("clean campaign should report the skipped trace:\n%s", buf.String())
+	}
+}
+
+// TestRunMCReplayPerfetto: replaying the known counterexample of the
+// planted wrong-quorum bug reproduces the violation and still writes the
+// trace of the replayed schedule.
+func TestRunMCReplayPerfetto(t *testing.T) {
+	cfg := baseConfig()
+	cfg.mc = true
+	cfg.system, cfg.alg = "async", "qkset"
+	cfg.n, cfg.f, cfg.k = 3, 1, 2
+	cfg.bug = true
+	cfg.mcReplay = "c1:4"
+	cfg.perfetto = filepath.Join(t.TempDir(), "mc.json")
+	var buf bytes.Buffer
+	err := run(cfg, &buf)
+	if err == nil || !strings.Contains(err.Error(), "replayed schedule") {
+		t.Fatalf("replay of the known counterexample should fail, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "violation reproduced") {
+		t.Fatalf("output missing the reproduction report:\n%s", buf.String())
+	}
+	readTraceEvents(t, cfg.perfetto)
+}
+
+// TestRunTelemetryEndpoint: -telemetry binds synchronously — a live run
+// reports the listening address, an occupied port is a hard error.
+func TestRunTelemetryEndpoint(t *testing.T) {
+	cfg := baseConfig()
+	cfg.telemetry = "127.0.0.1:0"
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "telemetry listening on http://127.0.0.1:") {
+		t.Fatalf("output missing the endpoint report:\n%s", buf.String())
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cfg.telemetry = ln.Addr().String()
+	buf.Reset()
+	err = run(cfg, &buf)
+	if err == nil || !strings.Contains(err.Error(), "telemetry listener") {
+		t.Fatalf("occupied address should fail the run, got %v", err)
+	}
+}

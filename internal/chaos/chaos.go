@@ -17,11 +17,13 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultnet"
 	"repro/internal/msgnet"
 	"repro/internal/obs"
+	"repro/internal/obs/hist"
 	"repro/internal/par"
 	"repro/internal/predicate"
 	"repro/internal/reliablelink"
@@ -88,6 +90,13 @@ type Config struct {
 	// Observer, when non-nil, receives every substrate, fault and link
 	// event of the main executions (minimization replays are unobserved).
 	Observer obs.Observer
+
+	// Telemetry, when non-nil, receives the campaign's per-run wall-time
+	// distribution ("chaos_run_wall_ns"). Unlike Observer it never forces
+	// Workers=1: histogram recording is sharded-atomic and order-free, and
+	// wall time flows only into histograms, never into the event stream or
+	// the summary, so the byte-determinism contract is untouched.
+	Telemetry *hist.Registry
 
 	// Out, when non-nil, receives progress and failure reports.
 	Out io.Writer
@@ -457,11 +466,22 @@ func Run(cfg Config) *Summary {
 		steps                            int
 		vs                               []Violation
 	}
+	var wall *hist.Histogram
+	if cfg.Telemetry != nil {
+		wall = cfg.Telemetry.Get("chaos_run_wall_ns")
+	}
 	outs, perr := par.Map(workers, cfg.Runs, func(run int) runOutcome {
 		plan := RandomPlan(cfg, draws[run].plan)
 		crashes := randomCrashes(cfg, draws[run].plan)
 
+		var start time.Time
+		if wall != nil {
+			start = time.Now()
+		}
 		out, rep, decisions, err := Execute(cfg, draws[run].sched, plan, crashes)
+		if wall != nil {
+			wall.Record(time.Since(start).Nanoseconds())
+		}
 		oc := runOutcome{decided: len(decisions), undecided: cfg.N - len(decisions)}
 		if rep != nil {
 			oc.stalls = len(rep.Stalls)

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultnet"
 	"repro/internal/msgnet"
 	"repro/internal/obs"
+	"repro/internal/obs/hist"
 	"repro/internal/par"
 	"repro/internal/recovery"
 )
@@ -72,6 +74,12 @@ type RecoverConfig struct {
 
 	// Observer, when non-nil, receives substrate and recovery events.
 	Observer obs.Observer
+
+	// Telemetry, when non-nil, receives the per-run wall-time distribution
+	// ("chaos_recover_wall_ns"), with the same contract as
+	// Config.Telemetry: never serializes workers, never touches the
+	// deterministic outputs.
+	Telemetry *hist.Registry
 
 	// Out, when non-nil, receives progress and failure reports.
 	Out io.Writer
@@ -280,11 +288,22 @@ func RunRecover(cfg RecoverConfig) *RecoverSummary {
 		steps                       int
 		vs                          []RecoverViolation
 	}
+	var wall *hist.Histogram
+	if cfg.Telemetry != nil {
+		wall = cfg.Telemetry.Get("chaos_recover_wall_ns")
+	}
 	outs, perr := par.Map(workers, cfg.Runs, func(run int) runOutcome {
 		s := RandomRecoverScenario(cfg, draws[run].scen)
 		s.SchedSeed = draws[run].sched
 
+		var start time.Time
+		if wall != nil {
+			start = time.Now()
+		}
 		out, err := ExecuteRecover(cfg, s)
+		if wall != nil {
+			wall.Record(time.Since(start).Nanoseconds())
+		}
 		var oc runOutcome
 		if out != nil {
 			oc.decided = len(out.Decisions)

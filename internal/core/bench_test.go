@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 func BenchmarkSetOps(b *testing.B) {
@@ -86,6 +87,50 @@ func BenchmarkEngineRoundsObserved(b *testing.B) {
 			b.ReportMetric(float64(rounds), "rounds/run")
 		})
 	}
+}
+
+// BenchmarkObservedRun prices the observer kinds on one fixed workload
+// (n=16, 10 rounds of the echo algorithm under a benign oracle): no
+// observer at all (must stay at BenchmarkEngineRounds speed — the hooks
+// are behind one nil check), the Metrics aggregator (atomic counters plus
+// sharded histograms), and the causal Tracer (span + flow assembly, a
+// fresh tracer per run as the CLIs use it).
+func BenchmarkObservedRun(b *testing.B) {
+	const n, rounds = 16, 10
+	inputs := make([]Value, n)
+	oracle := OracleFunc(func(r int, active Set) RoundPlan {
+		sus := make([]Set, n)
+		for i := range sus {
+			sus[i] = NewSet(n)
+		}
+		return RoundPlan{Suspects: sus}
+	})
+	runOnce := func(b *testing.B, extra ...Option) {
+		opts := append([]Option{WithoutTrace()}, extra...)
+		if _, err := Run(n, inputs, newEchoFactory(rounds), oracle, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("observer=off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b)
+		}
+	})
+	b.Run("observer=metrics", func(b *testing.B) {
+		m := obs.NewMetrics()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, WithObserver(m))
+		}
+	})
+	b.Run("observer=tracer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, WithObserver(trace.New()))
+		}
+	})
 }
 
 // BenchmarkRun / BenchmarkCheckpointedRun measure the cost of journaling an

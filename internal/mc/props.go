@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 )
 
@@ -133,6 +134,14 @@ type RunSpec struct {
 	// function of the final state (validity, k-agreement), not of the
 	// path (decide-within, trace predicates). See DESIGN §12.
 	Mark bool
+
+	// Observer, when non-nil, is attached to every schedule's engine
+	// execution (core.WithObserver) — distinct from Options.Observer,
+	// which sees only the exploration's own mc.* events. Attaching an
+	// engine observer to a full exploration is expensive and rarely
+	// wanted; the intended use is rendering one Replay of a
+	// counterexample's choice string (e.g. with obs/trace.Tracer).
+	Observer obs.Observer
 }
 
 // CheckRun compiles the spec into a run function for Explore or Replay.
@@ -148,7 +157,11 @@ func CheckRun(s RunSpec) func(*Ctx) error {
 			mo.algs = append(mo.algs, a)
 			return a
 		}
-		res, err := core.Run(s.N, s.Inputs, factory, mo, core.WithMaxRounds(maxRounds))
+		runOpts := []core.Option{core.WithMaxRounds(maxRounds)}
+		if s.Observer != nil {
+			runOpts = append(runOpts, core.WithObserver(s.Observer))
+		}
+		res, err := core.Run(s.N, s.Inputs, factory, mo, runOpts...)
 		if err != nil {
 			return fmt.Errorf("execution failed: %w", err)
 		}

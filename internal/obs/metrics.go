@@ -4,12 +4,21 @@ import (
 	"encoding/json"
 	"sync"
 	"time"
+
+	"repro/internal/obs/hist"
 )
 
 // Metrics is an Observer that aggregates an execution (or many executions)
 // into counters and histograms. All methods are safe for concurrent use, so
 // one Metrics may observe parallel sweeps; Snapshot can be taken at any
 // time.
+//
+// Alongside the counters, Metrics feeds a hist.Registry of latency and
+// size distributions: per-phase and per-round wall time, oracle-plan
+// latency, delivery fan-in, and reliable-link backoff intervals. The
+// registry is shared with whatever else meters the process (chaos
+// campaigns, par pools) via Hist, and is what /metrics and /snapshot
+// expose when the Metrics is served by ServeTelemetry.
 type Metrics struct {
 	mu sync.Mutex
 
@@ -25,12 +34,23 @@ type Metrics struct {
 	roundsToDecision   map[int]int64 // decision round → processes deciding there
 	dsetSizes          map[int]int64 // |D(i,r)| → occurrences
 	suspicionsPerRound map[int]int64 // round → Σ_i |D(i,r)|
+	suspectedCounts    map[int]int64 // process → times appearing in any D(i,r)
 	phaseNS            map[string]int64
 	phaseCount         map[string]int64
 	events             map[string]int64
 	faults             FaultSnapshot
 	recovery           RecoverySnapshot
 	mc                 MCSnapshot
+
+	// Histograms record outside the mutex (hist is sharded-atomic); the
+	// hot-path ones are resolved to direct pointers at construction.
+	hists    *hist.Registry
+	hPlan    *hist.Histogram // oracle_plan_ns
+	hEmit    *hist.Histogram // phase_emit_ns
+	hDeliver *hist.Histogram // phase_deliver_ns
+	hRound   *hist.Histogram // round_ns
+	hFanin   *hist.Histogram // deliver_fanin
+	hBackoff *hist.Histogram // rlink_backoff_steps
 }
 
 // FaultSnapshot aggregates injected-fault and link-recovery counters,
@@ -131,18 +151,37 @@ func NewMetrics() *Metrics {
 	return m
 }
 
+// Hist returns the registry of latency/size histograms this Metrics
+// records into. Callers may register further histograms of their own; the
+// registry is what telemetry exporters walk.
+func (m *Metrics) Hist() *hist.Registry { return m.hists }
+
 func (m *Metrics) reset() {
 	m.runs, m.runErrors, m.rounds = 0, 0, 0
 	m.emits, m.delivered, m.suspicions, m.crashes, m.decisions = 0, 0, 0, 0, 0
 	m.roundsToDecision = make(map[int]int64)
 	m.dsetSizes = make(map[int]int64)
 	m.suspicionsPerRound = make(map[int]int64)
+	m.suspectedCounts = make(map[int]int64)
 	m.phaseNS = make(map[string]int64)
 	m.phaseCount = make(map[string]int64)
 	m.events = make(map[string]int64)
 	m.faults = FaultSnapshot{}
 	m.recovery = RecoverySnapshot{}
 	m.mc = MCSnapshot{}
+	// The registry is cleared in place, never replaced: Telemetry handles
+	// and pool meters resolved against it stay live across Reset.
+	if m.hists == nil {
+		m.hists = hist.NewRegistry()
+	} else {
+		m.hists.Reset()
+	}
+	m.hPlan = m.hists.Get("oracle_plan_ns")
+	m.hEmit = m.hists.Get("phase_emit_ns")
+	m.hDeliver = m.hists.Get("phase_deliver_ns")
+	m.hRound = m.hists.Get("round_ns")
+	m.hFanin = m.hists.Get("deliver_fanin")
+	m.hBackoff = m.hists.Get("rlink_backoff_steps")
 }
 
 // Reset clears every counter and histogram.
@@ -181,11 +220,23 @@ func (m *Metrics) Deliver(r, p, delivered, suspected int) {
 	m.dsetSizes[suspected]++
 	m.suspicionsPerRound[r] += int64(suspected)
 	m.mu.Unlock()
+	m.hFanin.Record(int64(delivered))
 }
 
-// Suspect implements Observer. D-set accounting happens in Deliver (which
-// carries the same cardinality without the slice), so Suspect is a no-op.
-func (m *Metrics) Suspect(r, p int, suspects []int) {}
+// Suspect implements Observer. Cardinality accounting happens in Deliver
+// (which carries |D(p,r)| without the slice); Suspect records what only
+// the member list can tell: which processes are being suspected, counted
+// per target across every (observer, round) pair.
+func (m *Metrics) Suspect(r, p int, suspects []int) {
+	if len(suspects) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, q := range suspects {
+		m.suspectedCounts[q]++
+	}
+	m.mu.Unlock()
+}
 
 // Crash implements Observer.
 func (m *Metrics) Crash(r int, crashed []int) {
@@ -212,12 +263,27 @@ func (m *Metrics) RunEnd(rounds, decided int, err error) {
 	m.mu.Unlock()
 }
 
-// Phase implements Observer.
+// Phase implements Observer. Non-zero durations additionally feed the
+// latency histograms (zero means the engine is running untimed — there is
+// nothing to record).
 func (m *Metrics) Phase(r int, phase string, d time.Duration) {
 	m.mu.Lock()
 	m.phaseNS[phase] += int64(d)
 	m.phaseCount[phase]++
 	m.mu.Unlock()
+	if d <= 0 {
+		return
+	}
+	switch phase {
+	case "plan":
+		m.hPlan.Record(int64(d))
+	case "emit":
+		m.hEmit.Record(int64(d))
+	case "deliver":
+		m.hDeliver.Record(int64(d))
+	case "round":
+		m.hRound.Record(int64(d))
+	}
 }
 
 // NeedsPhaseTimings implements PhaseTimer: the phase histograms are real
@@ -247,6 +313,9 @@ func (m *Metrics) Event(kind string, r, p int, fields map[string]any) {
 		m.faults.PartitionSpans++
 	case "rlink.retransmit":
 		m.faults.Retransmissions++
+		if iv := asInt64(fields["interval"]); iv > 0 {
+			m.hBackoff.Record(iv)
+		}
 	case "rlink.dup_rx":
 		m.faults.DupFramesReceived++
 	case "rlink.giveup":
@@ -341,6 +410,11 @@ type Snapshot struct {
 	// SuspicionsPerRound maps round → Σ_i |D(i,r)| summed across runs.
 	SuspicionsPerRound map[int]int64 `json:"suspicions_per_round"`
 
+	// SuspectedCounts maps process → how many times it appeared in some
+	// D(i,r) across runs — who gets suspected, where SuspicionsPerRound
+	// only says how much. Omitted when no suspicion named a process.
+	SuspectedCounts map[int]int64 `json:"suspected_counts,omitempty"`
+
 	// PhaseNanos and PhaseMeanNanos report total and mean wall time per
 	// engine phase ("plan", "emit", "deliver").
 	PhaseNanos     map[string]int64   `json:"phase_ns"`
@@ -365,6 +439,10 @@ type Snapshot struct {
 	// MC aggregates model-checking explorations (schedules, reductions,
 	// violations); omitted when no mc.* event was observed.
 	MC *MCSnapshot `json:"mc,omitempty"`
+
+	// Hist carries the frozen latency/size histograms (quantile
+	// summaries in JSON); omitted when nothing was recorded.
+	Hist map[string]hist.Snap `json:"hist,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the current state.
@@ -383,6 +461,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		RoundsToDecision:   copyIntMap(m.roundsToDecision),
 		DSetSizeHist:       copyIntMap(m.dsetSizes),
 		SuspicionsPerRound: copyIntMap(m.suspicionsPerRound),
+		SuspectedCounts:    copyIntMap(m.suspectedCounts),
 		PhaseNanos:         make(map[string]int64, len(m.phaseNS)),
 		PhaseMeanNanos:     make(map[string]float64, len(m.phaseNS)),
 	}
@@ -410,6 +489,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	if !m.mc.empty() {
 		mc := m.mc
 		s.MC = &mc
+	}
+	if hs := m.hists.Snapshot(); len(hs) > 0 {
+		s.Hist = hs
 	}
 	return s
 }

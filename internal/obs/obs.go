@@ -67,7 +67,9 @@ type Observer interface {
 	RunEnd(rounds, decided int, err error)
 
 	// Phase reports the wall time of one engine phase ("plan", "emit",
-	// "deliver") of round r, measured with the engine's injected clock.
+	// "deliver") of round r, measured with the engine's injected clock,
+	// plus a synthetic whole-round "round" phase whose duration is the
+	// sum of the three (no extra clock reads).
 	Phase(r int, phase string, d time.Duration)
 
 	// Event is the extension point for protocol-level events outside the

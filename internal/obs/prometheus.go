@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4): the scalar counters, the per-kind event and
+// per-phase time totals as labelled counters, and every histogram as a
+// summary with p50/p90/p99/p999 quantiles. Output order is deterministic
+// (sorted names) so scrapes diff cleanly.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("rrfd_runs_total", "Engine executions observed.", s.Runs)
+	counter("rrfd_run_errors_total", "Engine executions that ended in error.", s.RunErrors)
+	counter("rrfd_rounds_total", "Rounds executed across runs.", s.Rounds)
+	counter("rrfd_emits_total", "Round messages emitted.", s.Emits)
+	counter("rrfd_messages_delivered_total", "Messages delivered (sum of |S(i,r)|).", s.MessagesDelivered)
+	counter("rrfd_suspicions_total", "Suspicions issued (sum of |D(i,r)|).", s.SuspicionsTotal)
+	counter("rrfd_crashes_total", "Processes crashed by the adversary.", s.Crashes)
+	counter("rrfd_decisions_total", "First decisions.", s.Decisions)
+
+	if len(s.PhaseNanos) > 0 {
+		fmt.Fprintf(w, "# HELP rrfd_phase_ns_total Cumulative wall time per engine phase, nanoseconds.\n# TYPE rrfd_phase_ns_total counter\n")
+		for _, phase := range sortedKeys(s.PhaseNanos) {
+			fmt.Fprintf(w, "rrfd_phase_ns_total{phase=%q} %d\n", phase, s.PhaseNanos[phase])
+		}
+	}
+	if len(s.Events) > 0 {
+		fmt.Fprintf(w, "# HELP rrfd_events_total Protocol events by kind.\n# TYPE rrfd_events_total counter\n")
+		for _, kind := range sortedKeys(s.Events) {
+			fmt.Fprintf(w, "rrfd_events_total{kind=%q} %d\n", kind, s.Events[kind])
+		}
+	}
+
+	histNames := make([]string, 0, len(s.Hist))
+	for name := range s.Hist {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Hist[name]
+		metric := "rrfd_" + sanitizeMetricName(name)
+		fmt.Fprintf(w, "# HELP %s Distribution of %s.\n# TYPE %s summary\n", metric, name, metric)
+		for _, q := range []struct {
+			label string
+			p     float64
+		}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999}} {
+			fmt.Fprintf(w, "%s{quantile=\"%s\"} %d\n", metric, q.label, h.Quantile(q.p))
+		}
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", metric, h.Sum, metric, h.Count)
+	}
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sanitizeMetricName maps a histogram name onto the metric-name alphabet
+// [a-zA-Z0-9_:], replacing anything else with '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

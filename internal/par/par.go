@@ -16,17 +16,26 @@
 //     stack, like captureGen turns generator panics into returned errors.
 //     The lowest-index panic wins, matching what a sequential loop would
 //     have hit first.
-//   - No shared state: par owns nothing but the work counter. Tasks must
-//     bring their own RNG and observer state; the scheduler never
-//     introduces ordering between two tasks' side effects.
+//   - No shared state: par owns nothing but the work counter and an
+//     optional Meter (task latency / queue depth histograms — sharded
+//     atomics, order-free). Tasks must bring their own RNG and observer
+//     state; the scheduler never introduces ordering between two tasks'
+//     side effects. Workers run under a "par_worker" pprof label so CPU
+//     profiles attribute campaign work to pool goroutines.
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs/hist"
 )
 
 // Workers resolves a configured worker count: n > 0 is used as given; zero
@@ -36,6 +45,30 @@ func Workers(n int) int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// Meter is the pool's optional instrumentation: task wall-time latency
+// and the queue depth observed as each task starts (tasks not yet begun,
+// including the starting one). Either histogram may be nil. Wall time
+// flows only into histograms, never into task results, so metered
+// campaigns keep their byte-identical output guarantee.
+type Meter struct {
+	TaskNS     *hist.Histogram
+	QueueDepth *hist.Histogram
+}
+
+var meter atomic.Pointer[Meter]
+
+// SetMeter installs (or with nil removes) the process-wide pool meter —
+// the CLIs wire it to their telemetry registry. A Map picks up the meter
+// installed at its start.
+func SetMeter(m *Meter) { meter.Store(m) }
+
+// labeled runs body on the current goroutine under a par_worker pprof
+// label, so CPU profiles of campaigns attribute samples to pool workers.
+func labeled(w int, body func()) {
+	pprof.Do(context.Background(), pprof.Labels("par_worker", strconv.Itoa(w)),
+		func(context.Context) { body() })
 }
 
 // PanicError reports a task that panicked inside Map or Sweep. Index is
@@ -60,12 +93,22 @@ func (e *PanicError) Error() string {
 func Map[T any](workers, n int, task func(i int) T) ([]T, error) {
 	out := make([]T, n)
 	panics := make([]*PanicError, n)
+	m := meter.Load()
 	call := func(i int) {
 		defer func() {
 			if v := recover(); v != nil {
 				panics[i] = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
 			}
 		}()
+		if m != nil {
+			if m.QueueDepth != nil {
+				m.QueueDepth.Record(int64(n - i))
+			}
+			if m.TaskNS != nil {
+				start := time.Now()
+				defer func() { m.TaskNS.Record(time.Since(start).Nanoseconds()) }()
+			}
+		}
 		out[i] = task(i)
 	}
 
@@ -73,24 +116,28 @@ func Map[T any](workers, n int, task func(i int) T) ([]T, error) {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			call(i)
-		}
+		labeled(0, func() {
+			for i := 0; i < n; i++ {
+				call(i)
+			}
+		})
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
+				labeled(w, func() {
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							return
+						}
+						call(i)
 					}
-					call(i)
-				}
-			}()
+				})
+			}(w)
 		}
 		wg.Wait()
 	}

@@ -258,7 +258,9 @@ func (l *Link) retransmitDue() error {
 		}
 		pf.attempts++
 		l.stats.Retransmissions++
-		l.event("rlink.retransmit", map[string]any{"to": int(k.to), "seq": k.seq, "attempt": pf.attempts})
+		// interval is the backoff that just expired — a deterministic
+		// step count, so observers can histogram the backoff ladder.
+		l.event("rlink.retransmit", map[string]any{"to": int(k.to), "seq": k.seq, "attempt": pf.attempts, "interval": pf.interval})
 		pf.interval *= 2
 		if limit := l.cfg.retransmitCap(); pf.interval > limit {
 			pf.interval = limit
