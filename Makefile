@@ -4,11 +4,12 @@
 
 GO ?= go
 
-# Engine + agreement + chaos-campaign benchmarks tracked in BENCH_core.json.
-BENCH_PKGS := ./internal/core ./internal/agreement ./internal/chaos
+# Engine + agreement + chaos-campaign + TCP-substrate benchmarks tracked
+# in BENCH_core.json.
+BENCH_PKGS := ./internal/core ./internal/agreement ./internal/chaos ./internal/netsub
 BENCH_PAT  ?= .
 
-.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover telemetry-short
+.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover telemetry-short net-short
 
 build:
 	$(GO) build ./...
@@ -22,7 +23,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-ci: vet build race chaos-short recovery-short mc-short mc-cover telemetry-short
+ci: vet build race chaos-short recovery-short mc-short mc-cover telemetry-short net-short
 
 # Fixed-seed, small-N fault-injection campaigns under the race detector:
 # quick enough for every CI run, loud on any safety violation (the chaos
@@ -79,6 +80,15 @@ telemetry-short:
 		-drop 1.0 -omit 0.8 -partition 0.6 -watchdog 300 -bug \
 		-perfetto $$dir/chaos.json && \
 	test -s $$dir/chaos.json && rm -rf $$dir
+
+# Real-network smoke under the race detector: the loopback TCP substrate
+# tests (peer pool, backpressure, eviction, chaos proxy, cross-validation
+# against the virtual injector) plus the multi-process run — one OS
+# process per pid over inherited listeners, the highest pid killed and
+# restarted mid-run, decisions audited for validity and k-agreement.
+net-short:
+	$(GO) test -race -count 1 ./internal/netsub/
+	$(GO) run -race ./cmd/rrfdsim -substrate tcp -n 4 -f 1 -k 2 -rounds 3 -watchdog 600
 
 # The larger sweep: every fault class, more seeds, more runs.
 chaos:

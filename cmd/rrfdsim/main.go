@@ -21,6 +21,15 @@
 // prints the scheduler seed, the fault plan and a delta-debugged minimal
 // plan, and exits non-zero.
 //
+// Real network: -substrate tcp runs the same round protocol as one OS
+// process per pid over loopback TCP (each child inherits its pre-bound
+// listener), kills the highest-pid child once the mesh is up, restarts
+// it as incarnation 2 on the same listener, and audits the collected
+// decisions for validity and k-agreement — survivors must degrade the
+// dead peer into D(i,r) suspicions via the wall-clock watchdog, and the
+// restarted process must re-enter and terminate instead of deadlocking.
+// With -substrate tcp, -watchdog is in milliseconds.
+//
 // Model checking: -mc switches to the systematic explorer — every
 // adversary schedule an enumerable model (async, kset, omission, crash)
 // allows over a small system (n ≤ 4) is executed and checked against
@@ -48,6 +57,7 @@
 //	go run ./cmd/rrfdsim -system crash -n 8 -f 3 -alg floodmin
 //	go run ./cmd/rrfdsim -system s -n 6 -alg coordinator -trace
 //	go run ./cmd/rrfdsim -system snapshot -n 6 -f 2 -alg none -rounds 4
+//	go run ./cmd/rrfdsim -substrate tcp -n 4 -f 1 -k 2 -rounds 3
 //	go run ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset
 //	go run ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset -bug -workers 4
 //	go run ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset -bug -mc-replay c1:4
@@ -102,6 +112,14 @@ type config struct {
 	mcSamples int
 	mcReplay  string
 
+	// real-network flags (-substrate tcp and its internal child mode)
+	substrate      string
+	netChild       bool
+	netMe          int
+	netIncarnation int
+	netLinger      int
+	netAddrs       string
+
 	// chaos-mode flags
 	chaos     bool
 	workers   int
@@ -143,6 +161,12 @@ func main() {
 	flag.IntVar(&cfg.mcDepth, "mc-depth", 0, "mc: bound enumeration to this choice depth, sample beyond it (0 = unbounded)")
 	flag.IntVar(&cfg.mcSamples, "mc-samples", 0, "mc: random completions per frontier node when -mc-depth is set (0 = 8)")
 	flag.StringVar(&cfg.mcReplay, "mc-replay", "", "mc: replay one recorded counterexample choice string (e.g. c1:4)")
+	flag.StringVar(&cfg.substrate, "substrate", "virtual", "substrate: virtual (in-process scheduler) | tcp (one OS process per pid over loopback TCP, with a kill-and-restart)")
+	flag.BoolVar(&cfg.netChild, "net-child", false, "internal: run as one TCP mesh process (spawned by -substrate tcp)")
+	flag.IntVar(&cfg.netMe, "net-me", 0, "internal: TCP mesh child pid")
+	flag.IntVar(&cfg.netIncarnation, "net-incarnation", 1, "internal: TCP mesh child incarnation")
+	flag.IntVar(&cfg.netLinger, "net-linger", 0, "tcp: post-decision linger in ms so slower peers still hear the last round (0 = 250)")
+	flag.StringVar(&cfg.netAddrs, "net-addrs", "", "internal: comma-separated TCP mesh addresses")
 	flag.BoolVar(&cfg.chaos, "chaos", false, "run the randomized fault-injection campaign instead of a single execution")
 	flag.IntVar(&cfg.workers, "workers", 0, "chaos modes: concurrent runs (0 = one per CPU, 1 = sequential; output is identical either way)")
 	flag.IntVar(&cfg.runs, "runs", 0, "chaos: number of randomized executions (0 = 100)")
@@ -169,8 +193,14 @@ func main() {
 }
 
 func run(cfg config, w io.Writer) error {
+	if cfg.netChild {
+		return runNetChild(cfg, w)
+	}
 	if err := validate(cfg); err != nil {
 		return err
+	}
+	if cfg.substrate == "tcp" {
+		return runNetParent(cfg, w)
 	}
 
 	// One Telemetry per process: its Metrics joins every mode's observer
@@ -561,6 +591,23 @@ func validate(cfg config) error {
 	}
 	if cfg.workers < 0 {
 		return fmt.Errorf("invalid worker count %d", cfg.workers)
+	}
+	if cfg.substrate != "" && cfg.substrate != "virtual" && cfg.substrate != "tcp" {
+		return fmt.Errorf("unknown substrate %q: virtual or tcp", cfg.substrate)
+	}
+	if cfg.substrate == "tcp" {
+		if cfg.mc || cfg.chaos || cfg.chaosRecover {
+			return fmt.Errorf("-substrate tcp is its own mode: drop -mc/-chaos/-chaos-recover")
+		}
+		if cfg.ckptDir != "" || cfg.resumeDir != "" {
+			return fmt.Errorf("-substrate tcp crashes real processes, not journaled runs: drop -checkpoint/-resume")
+		}
+		if cfg.dumpTrace || cfg.outFile != "" || cfg.perfetto != "" || cfg.eventsFile != "" {
+			return fmt.Errorf("-substrate tcp spans processes and records no single trace: drop -trace/-o/-perfetto/-events")
+		}
+		if cfg.metrics || cfg.telemetry != "" {
+			return fmt.Errorf("-substrate tcp runs n separate processes: drop -metrics/-telemetry")
+		}
 	}
 	if cfg.workers > 1 && !cfg.chaos && !cfg.chaosRecover && !cfg.mc {
 		return fmt.Errorf("-workers parallelizes campaign runs: add -chaos, -chaos-recover or -mc")

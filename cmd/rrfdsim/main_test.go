@@ -533,3 +533,76 @@ func TestRunMCRejectsLargeN(t *testing.T) {
 		t.Fatalf("n=6 enumeration accepted: %v", err)
 	}
 }
+
+// TestValidateSubstrate pins the -substrate tcp flag discipline: it is
+// its own mode, incompatible with campaigns, journaling and the
+// single-trace observability sinks.
+func TestValidateSubstrate(t *testing.T) {
+	cfg := baseConfig()
+	cfg.substrate = "carrier-pigeon"
+	if err := validate(cfg); err == nil || !strings.Contains(err.Error(), "unknown substrate") {
+		t.Fatalf("validate accepted an unknown substrate: %v", err)
+	}
+	tcp := func() config {
+		c := baseConfig()
+		c.substrate = "tcp"
+		return c
+	}
+	if err := validate(tcp()); err != nil {
+		t.Fatalf("plain -substrate tcp should validate: %v", err)
+	}
+	cfg = tcp()
+	cfg.chaos = true
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -substrate tcp with -chaos")
+	}
+	cfg = tcp()
+	cfg.mc = true
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -substrate tcp with -mc")
+	}
+	cfg = tcp()
+	cfg.ckptDir = "ck"
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -substrate tcp with -checkpoint")
+	}
+	cfg = tcp()
+	cfg.perfetto = "trace.json"
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -substrate tcp with -perfetto")
+	}
+	cfg = tcp()
+	cfg.metrics = true
+	if err := validate(cfg); err == nil {
+		t.Fatal("validate accepted -substrate tcp with -metrics")
+	}
+}
+
+// TestRunNetParentRejectsBadShape pins the TCP-mode shape errors without
+// spawning anything.
+func TestRunNetParentRejectsBadShape(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := baseConfig()
+	cfg.substrate = "tcp"
+	cfg.f = 0
+	if err := run(cfg, &buf); err == nil || !strings.Contains(err.Error(), "f <") {
+		t.Fatalf("accepted f=0: %v", err)
+	}
+	cfg = baseConfig()
+	cfg.substrate = "tcp"
+	cfg.k = 1
+	if err := run(cfg, &buf); err == nil || !strings.Contains(err.Error(), "k >= 2") {
+		t.Fatalf("accepted k=1: %v", err)
+	}
+}
+
+// TestNetChildRejectsBadAddrs pins the child-side flag validation.
+func TestNetChildRejectsBadAddrs(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := baseConfig()
+	cfg.netChild = true
+	cfg.netAddrs = "127.0.0.1:1,127.0.0.1:2"
+	if err := run(cfg, &buf); err == nil || !strings.Contains(err.Error(), "addrs") {
+		t.Fatalf("accepted an addrs/n mismatch: %v", err)
+	}
+}

@@ -303,10 +303,13 @@ func crashString(crashes map[core.PID]int) string {
 	return strings.Join(parts, ",")
 }
 
-// runResult carries one execution's artifacts through checking.
+// runResult carries one execution's artifacts through checking. It is
+// substrate-neutral on purpose: the checker needs the outcome, the
+// decisions, and whether any round stalled — not which kind of report
+// (step-clock reliablelink or wall-clock netsub) said so.
 type runResult struct {
 	out       *msgnet.RoundOutcome
-	rep       *reliablelink.RunReport
+	stalled   bool
 	err       error
 	decisions map[core.PID]core.Value
 }
@@ -339,7 +342,18 @@ func Execute(cfg Config, schedSeed int64, plan faultnet.Plan, crashes map[core.P
 		return int(me) // the proposal, re-broadcast every round
 	})
 
+	return out, rep, decide(cfg, out), err
+}
+
+// decide applies the decision rule to an outcome: process i decides the
+// minimum of its round-1 view provided the view reached the n−f quorum
+// (under QuorumBug, regardless of quorum). The rule reads only the
+// outcome, so virtual and networked executions share it verbatim.
+func decide(cfg Config, out *msgnet.RoundOutcome) map[core.PID]core.Value {
 	decisions := make(map[core.PID]core.Value)
+	if out == nil {
+		return decisions
+	}
 	for i := 0; i < cfg.N; i++ {
 		views := out.Views[core.PID(i)]
 		if len(views) == 0 {
@@ -363,7 +377,7 @@ func Execute(cfg Config, schedSeed int64, plan faultnet.Plan, crashes map[core.P
 			decisions[core.PID(i)] = min
 		}
 	}
-	return out, rep, decisions, err
+	return decisions
 }
 
 // check applies the safety invariants to one execution.
@@ -404,7 +418,7 @@ func check(cfg Config, res runResult) []Violation {
 	// Predicate conformance: a stall-free execution's trace must satisfy
 	// the eq. (3) per-round suspicion budget — message loss that the link
 	// fully recovered leaves no mark on the fault-detector level.
-	if res.rep != nil && !res.rep.Stalled() && res.out != nil && res.err == nil {
+	if !res.stalled && res.out != nil && res.err == nil {
 		if err := predicate.PerRoundBudget(cfg.F).Check(res.out.Trace); err != nil {
 			add("predicate", "stall-free trace escapes eq.(3): %v", err)
 		}
@@ -424,7 +438,7 @@ func Minimize(cfg Config, schedSeed int64, plan faultnet.Plan, crashes map[core.
 		for i := 0; i < len(cur.Components); i++ {
 			cand := cur.WithoutComponent(i)
 			out, rep, decisions, err := Execute(cfg, schedSeed, cand, crashes)
-			if len(check(cfg, runResult{out, rep, err, decisions})) > 0 {
+			if len(check(cfg, runResult{out, rep.Stalled(), err, decisions})) > 0 {
 				cur = cand
 				changed = true
 				break
@@ -489,7 +503,7 @@ func Run(cfg Config) *Summary {
 			oc.giveUps = rep.GiveUps
 			oc.steps = rep.Steps
 		}
-		oc.vs = check(cfg, runResult{out, rep, err, decisions})
+		oc.vs = check(cfg, runResult{out, rep.Stalled(), err, decisions})
 		if len(oc.vs) == 0 {
 			return oc
 		}

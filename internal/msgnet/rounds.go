@@ -31,11 +31,6 @@ type roundMsg struct {
 	value core.Value
 }
 
-type roundRecord struct {
-	dsets []core.Set
-	views []map[core.PID]core.Value
-}
-
 // RunRounds executes the round-based f-resilient asynchronous protocol of
 // §2 item 3: in each round a process broadcasts its round message, then
 // receives until it holds n−f messages of the current round — buffering
@@ -57,9 +52,9 @@ func RunRounds(n, f, rounds int, cfg Config, emit RoundEmit) (*RoundOutcome, err
 		return nil, fmt.Errorf("msgnet: %d crashes exceed resilience f=%d", len(cfg.Crash), f)
 	}
 
-	recs := make([]*roundRecord, n)
+	recs := make([]*RoundRec, n)
 	out, err := Run(n, cfg, func(nd *Node) (core.Value, error) {
-		rec := &roundRecord{}
+		rec := &RoundRec{}
 		recs[nd.Me] = rec
 		// future buffers messages from rounds ahead of ours.
 		future := make(map[int]map[core.PID]core.Value)
@@ -99,8 +94,8 @@ func RunRounds(n, f, rounds int, cfg Config, emit RoundEmit) (*RoundOutcome, err
 			for p := range got {
 				d.Remove(p)
 			}
-			rec.dsets = append(rec.dsets, d)
-			rec.views = append(rec.views, got)
+			rec.Dsets = append(rec.Dsets, d)
+			rec.Views = append(rec.Views, got)
 			prevMsgs, prevSus = got, d
 		}
 		return nil, nil
@@ -108,45 +103,5 @@ func RunRounds(n, f, rounds int, cfg Config, emit RoundEmit) (*RoundOutcome, err
 	if err != nil {
 		return nil, err
 	}
-
-	res := &RoundOutcome{
-		Trace:   core.NewTrace(n),
-		Views:   make(map[core.PID][]map[core.PID]core.Value, n),
-		Crashed: out.Crashed,
-		Steps:   out.Steps,
-	}
-	for i := 0; i < n; i++ {
-		if recs[i] == nil {
-			recs[i] = &roundRecord{}
-		}
-		res.Views[core.PID(i)] = recs[i].views
-	}
-	for r := 1; r <= rounds; r++ {
-		rec := core.RoundRecord{
-			R:        r,
-			Suspects: make([]core.Set, n),
-			Deliver:  make([]core.Set, n),
-			Active:   core.NewSet(n),
-			Crashed:  core.NewSet(n),
-		}
-		for i := 0; i < n; i++ {
-			pid := core.PID(i)
-			if len(recs[i].dsets) >= r {
-				rec.Active.Add(pid)
-				rec.Suspects[i] = recs[i].dsets[r-1]
-				rec.Deliver[i] = recs[i].dsets[r-1].Complement()
-			} else {
-				rec.Suspects[i] = core.NewSet(n)
-				rec.Deliver[i] = core.NewSet(n)
-				if out.Crashed.Has(pid) {
-					rec.Crashed.Add(pid)
-				}
-			}
-		}
-		if rec.Active.Empty() {
-			break
-		}
-		res.Trace.Append(rec)
-	}
-	return res, nil
+	return AssembleRoundOutcome(n, rounds, recs, out.Crashed, out.Steps), nil
 }

@@ -1,0 +1,118 @@
+package netsub
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrClosed is returned from every operation on a closed node.
+var ErrClosed = errors.New("netsub: node closed")
+
+// ErrBackpressure is the sentinel matched (via errors.Is) by
+// *BackpressureError.
+var ErrBackpressure = errors.New("netsub: peer send queue full")
+
+// ErrEvicted is the sentinel matched (via errors.Is) by *PeerEvictedError.
+var ErrEvicted = errors.New("netsub: peer evicted")
+
+// BackpressureError reports a shed send: the peer's bounded send queue
+// was at its in-flight cap, and the substrate sheds rather than buffer
+// without bound. On a real network a shed is indistinguishable from a
+// lost message, and the round watchdog degrades it into a suspicion the
+// same way.
+type BackpressureError struct {
+	// To is the congested peer.
+	To core.PID
+
+	// Queued is the queue depth at the shed (equal to Cap).
+	Queued int
+
+	// Cap is the peer's configured in-flight cap.
+	Cap int
+}
+
+// Error implements error.
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("netsub: send to p%d shed: %d/%d frames in flight", e.To, e.Queued, e.Cap)
+}
+
+// Is reports that a BackpressureError is an ErrBackpressure.
+func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
+
+// PeerEvictedError reports a send to a peer the flow monitor has evicted
+// for persistent slowness; the pool no longer queues or dials for it.
+type PeerEvictedError struct {
+	// To is the evicted peer.
+	To core.PID
+
+	// Strikes is how many consecutive stalled flow windows evicted it.
+	Strikes int
+}
+
+// Error implements error.
+func (e *PeerEvictedError) Error() string {
+	return fmt.Sprintf("netsub: p%d evicted after %d stalled flow windows", e.To, e.Strikes)
+}
+
+// Is reports that a PeerEvictedError is an ErrEvicted.
+func (e *PeerEvictedError) Is(target error) bool { return target == ErrEvicted }
+
+// shed reports whether err is a loss the substrate already accounts for
+// (backpressure or eviction) rather than a failure of the caller's
+// operation: the message won't arrive, and suspicion — not an error
+// return — is how the round layer learns that.
+func shed(err error) bool {
+	return errors.Is(err, ErrBackpressure) || errors.Is(err, ErrEvicted)
+}
+
+// TruncatedFrameError reports a frame cut short: fewer bytes were
+// available than the header (or the header's length field) requires. On
+// a live stream it means the connection died mid-frame.
+type TruncatedFrameError struct {
+	// Need is the byte count the frame requires; Got what was present.
+	Need, Got int
+}
+
+// Error implements error.
+func (e *TruncatedFrameError) Error() string {
+	return fmt.Sprintf("netsub: truncated frame: need %d bytes, have %d", e.Need, e.Got)
+}
+
+// OversizeFrameError reports a length field above MaxFramePayload — a
+// corrupt or hostile frame rejected before any allocation.
+type OversizeFrameError struct {
+	// Length is the claimed payload length; Max the permitted bound.
+	Length, Max int
+}
+
+// Error implements error.
+func (e *OversizeFrameError) Error() string {
+	return fmt.Sprintf("netsub: oversized frame: payload %d exceeds %d", e.Length, e.Max)
+}
+
+// CorruptFrameError reports a frame that failed structural validation:
+// bad magic, unknown kind, non-zero flags, checksum mismatch, or an
+// undecodable payload body.
+type CorruptFrameError struct {
+	// Field names what failed ("magic", "kind", "flags", "crc", "value",
+	// "hello"); Detail carries the offending bytes or reason.
+	Field, Detail string
+}
+
+// Error implements error.
+func (e *CorruptFrameError) Error() string {
+	return fmt.Sprintf("netsub: corrupt frame (%s: %s)", e.Field, e.Detail)
+}
+
+// UnsupportedTypeError reports an attempt to send a value outside the
+// wire vocabulary — a caller bug, not a network condition.
+type UnsupportedTypeError struct {
+	Value core.Value
+}
+
+// Error implements error.
+func (e *UnsupportedTypeError) Error() string {
+	return fmt.Sprintf("netsub: unsupported wire type %T", e.Value)
+}

@@ -1,0 +1,73 @@
+package netsub
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the wire decoder with arbitrary bytes: it must
+// never panic, never accept a frame it cannot re-encode byte-identically,
+// and classify every rejection as one of the three structured decode
+// errors — truncated (wait for more bytes), oversize, or corrupt (tear
+// the stream down). The seed corpus under testdata/fuzz/FuzzDecodeFrame
+// pins the interesting shapes: valid frames of every kind, truncations
+// at each boundary, and single-bit corruptions of each header field.
+func FuzzDecodeFrame(f *testing.F) {
+	valid := func(kind FrameKind, payload []byte) []byte {
+		buf, err := AppendFrame(nil, kind, payload)
+		if err != nil {
+			f.Fatalf("seed frame: %v", err)
+		}
+		return buf
+	}
+	hello := valid(FrameHello, appendHello(nil, hello{pid: 1, n: 3, incarnation: 1}))
+	body, _ := AppendValue(nil, RoundMsg{Round: 2, Value: "p1@r2"})
+	data := valid(FrameData, body)
+
+	f.Add([]byte{})
+	f.Add(hello)
+	f.Add(data)
+	f.Add(valid(FrameHeartbeat, []byte{0x80, 0x02}))
+	f.Add(valid(FrameHeartbeatAck, nil))
+	f.Add(data[:headerSize-1])        // header cut short
+	f.Add(data[:len(data)-1])         // trailer cut short
+	f.Add(append([]byte{0}, data...)) // misaligned stream
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			var trunc *TruncatedFrameError
+			var oversize *OversizeFrameError
+			var corrupt *CorruptFrameError
+			if !errors.As(err, &trunc) && !errors.As(err, &oversize) && !errors.As(err, &corrupt) {
+				t.Fatalf("unstructured decode error %T: %v", err, err)
+			}
+			return
+		}
+		if n < headerSize+trailerSize || n > len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		if len(fr.Payload) > MaxFramePayload {
+			t.Fatalf("accepted %d-byte payload", len(fr.Payload))
+		}
+		// An accepted frame must re-encode to exactly the bytes decoded.
+		re, err := AppendFrame(nil, fr.Kind, fr.Payload)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("re-encode mismatch:\n got % X\nwant % X", re, b[:n])
+		}
+		// A data frame's payload must decode to a value or be rejected
+		// with a structured error — never a panic.
+		if fr.Kind == FrameData {
+			if _, _, err := DecodeValue(fr.Payload); err != nil {
+				var corrupt *CorruptFrameError
+				if !errors.As(err, &corrupt) {
+					t.Fatalf("unstructured value error %T: %v", err, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package netsub
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// peer is one outbound lane of the pool: a bounded queue of encoded
+// frames, a writer goroutine that owns dialing and the connection, and a
+// flow monitor that evicts the peer if the queue stops draining.
+type peer struct {
+	nd   *Node
+	to   core.PID
+	addr string
+
+	// q is the bounded in-flight queue; Send sheds when it is full.
+	q chan []byte
+
+	// connMu guards conn, the writer's current connection; closeConn uses
+	// it to unblock the writer from outside (eviction, node close).
+	connMu sync.Mutex
+	conn   net.Conn
+
+	evicted atomic.Bool
+	strikes atomic.Int32
+
+	// drained counts frames written since the flow monitor last looked.
+	drained atomic.Int64
+}
+
+func newPeer(nd *Node, to core.PID, addr string) *peer {
+	return &peer{nd: nd, to: to, addr: addr, q: make(chan []byte, nd.cfg.SendQueue)}
+}
+
+// send enqueues one encoded frame, shedding instead of blocking.
+func (p *peer) send(buf []byte) error {
+	if p.evicted.Load() {
+		p.nd.sheds.Add(1)
+		return &PeerEvictedError{To: p.to, Strikes: int(p.strikes.Load())}
+	}
+	select {
+	case p.q <- buf:
+		if p.nd.hQueue != nil {
+			p.nd.hQueue.Record(int64(len(p.q)))
+		}
+		return nil
+	default:
+		p.nd.sheds.Add(1)
+		p.nd.event("netsub.backpressure", map[string]any{"peer": int(p.to), "cap": cap(p.q)})
+		return &BackpressureError{To: p.to, Queued: cap(p.q), Cap: cap(p.q)}
+	}
+}
+
+// run is the writer loop: dial with capped seeded-jitter backoff, then
+// serve the queue until the connection breaks, then dial again. It exits
+// on node close or eviction.
+func (p *peer) run() {
+	defer p.nd.wg.Done()
+	// Each (node, peer) pair gets its own deterministic jitter stream so
+	// a thundering herd of redials decorrelates reproducibly.
+	bo := p.nd.cfg.Redial.Seeded(p.nd.cfg.Seed ^ (int64(p.nd.me)<<16 | int64(p.to)))
+	hadConn := false
+	for {
+		if p.nd.closed() || p.evicted.Load() {
+			return
+		}
+		conn, err := p.dial()
+		if err != nil {
+			p.nd.dialFails.Add(1)
+			p.nd.event("netsub.dial_fail", map[string]any{"peer": int(p.to), "err": err.Error()})
+			if !p.sleep(bo.NextDuration(p.nd.cfg.RedialUnit)) {
+				return
+			}
+			continue
+		}
+		bo.Reset()
+		p.nd.dials.Add(1)
+		if hadConn {
+			p.nd.reconnects.Add(1)
+			p.nd.event("netsub.reconnect", map[string]any{"peer": int(p.to)})
+		}
+		hadConn = true
+		p.setConn(conn)
+		p.nd.event("netsub.conn_open", map[string]any{"peer": int(p.to), "dir": "out"})
+		reason := p.serve(conn)
+		p.setConn(nil)
+		conn.Close()
+		if !p.nd.closed() {
+			p.nd.event("netsub.conn_close", map[string]any{"peer": int(p.to), "dir": "out", "reason": reason})
+		}
+	}
+}
+
+// dial opens the connection and sends the hello identifying this node.
+func (p *peer) dial() (net.Conn, error) {
+	conn, err := p.nd.cfg.Dial(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	body := appendHello(nil, hello{pid: p.nd.me, n: p.nd.n, incarnation: p.nd.cfg.Incarnation})
+	buf, _ := AppendFrame(nil, FrameHello, body)
+	conn.SetWriteDeadline(time.Now().Add(p.nd.cfg.WriteTimeout))
+	if _, err := conn.Write(buf); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// serve drains the queue onto one live connection, interleaving
+// heartbeats, until the connection breaks or the node closes. It returns
+// a reason tag for the close event.
+func (p *peer) serve(conn net.Conn) string {
+	// The ack reader turns heartbeat echoes into RTT samples; it exits
+	// when the connection is closed (here or by the remote).
+	p.nd.wg.Add(1)
+	go p.readAcks(conn)
+
+	var hb <-chan time.Time
+	if p.nd.cfg.HeartbeatEvery > 0 {
+		t := time.NewTicker(p.nd.cfg.HeartbeatEvery)
+		defer t.Stop()
+		hb = t.C
+	}
+	for {
+		select {
+		case <-p.nd.done:
+			return "closed"
+		case buf := <-p.q:
+			if !p.write(conn, buf) {
+				return "write"
+			}
+			p.nd.framesSent.Add(1)
+			p.drained.Add(1)
+		case <-hb:
+			if p.evicted.Load() {
+				return "evicted"
+			}
+			if !p.write(conn, p.nd.encodeHeartbeat()) {
+				return "write"
+			}
+		}
+	}
+}
+
+// write puts one frame on the wire under the write deadline.
+func (p *peer) write(conn net.Conn, buf []byte) bool {
+	conn.SetWriteDeadline(time.Now().Add(p.nd.cfg.WriteTimeout))
+	_, err := conn.Write(buf)
+	return err == nil
+}
+
+// readAcks consumes the return direction of the outbound connection —
+// heartbeat acks only — and histograms round-trip times.
+func (p *peer) readAcks(conn net.Conn) {
+	defer p.nd.wg.Done()
+	br := bufio.NewReader(conn)
+	var scratch []byte
+	for {
+		f, err := ReadFrame(br, &scratch)
+		if err != nil {
+			return
+		}
+		if f.Kind != FrameHeartbeatAck {
+			continue
+		}
+		sent, n := binary.Uvarint(f.Payload)
+		if n <= 0 {
+			continue
+		}
+		if rtt := p.nd.nanos() - int64(sent); rtt >= 0 && p.nd.hRTT != nil {
+			p.nd.hRTT.Record(rtt)
+		}
+	}
+}
+
+// flowMonitor samples the queue every FlowWindow: a window in which the
+// queue sat non-empty but nothing drained is a strike; EvictAfter
+// consecutive strikes evict the peer permanently.
+func (p *peer) flowMonitor() {
+	defer p.nd.wg.Done()
+	if p.nd.cfg.EvictAfter < 0 {
+		return
+	}
+	t := time.NewTicker(p.nd.cfg.FlowWindow)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.nd.done:
+			return
+		case <-t.C:
+		}
+		if p.evicted.Load() {
+			return
+		}
+		if len(p.q) > 0 && p.drained.Swap(0) == 0 {
+			if s := p.strikes.Add(1); int(s) >= p.nd.cfg.EvictAfter {
+				p.evict(int(s))
+				return
+			}
+		} else {
+			p.strikes.Store(0)
+		}
+	}
+}
+
+// evict cuts the peer off: no more queuing, no more dialing. The writer
+// is unblocked by closing its connection.
+func (p *peer) evict(strikes int) {
+	p.evicted.Store(true)
+	p.nd.evictions.Add(1)
+	p.nd.event("netsub.evict", map[string]any{"peer": int(p.to), "strikes": strikes})
+	p.closeConn("evicted")
+}
+
+// setConn publishes the writer's current connection for closeConn.
+func (p *peer) setConn(c net.Conn) {
+	p.connMu.Lock()
+	p.conn = c
+	p.connMu.Unlock()
+}
+
+// closeConn closes the writer's current connection, if any, unblocking a
+// stuck write or dial wait from outside the writer goroutine.
+func (p *peer) closeConn(string) {
+	p.connMu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.connMu.Unlock()
+}
+
+// sleep waits d or until the node closes or the peer is evicted,
+// reporting whether the writer should continue.
+func (p *peer) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-p.nd.done:
+		return false
+	case <-timer.C:
+		return !p.evicted.Load()
+	}
+}

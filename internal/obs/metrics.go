@@ -41,6 +41,7 @@ type Metrics struct {
 	faults             FaultSnapshot
 	recovery           RecoverySnapshot
 	mc                 MCSnapshot
+	net                NetSnapshot
 
 	// Histograms record outside the mutex (hist is sharded-atomic); the
 	// hot-path ones are resolved to direct pointers at construction.
@@ -144,6 +145,43 @@ type MCSnapshot struct {
 
 func (m MCSnapshot) empty() bool { return m == MCSnapshot{} }
 
+// NetSnapshot aggregates network-substrate counters, derived from the
+// netsub.* and sockchaos.* event streams of internal/netsub: connection
+// lifecycle, redials, backpressure sheds, slow-peer evictions, and the
+// socket-level chaos the proxy injected.
+type NetSnapshot struct {
+	// ConnsOpened and ConnsClosed count connection lifecycle events,
+	// outbound (dialed) and inbound (handshaked) alike.
+	ConnsOpened int64 `json:"conns_opened"`
+	ConnsClosed int64 `json:"conns_closed"`
+
+	// DialFailures and Reconnects count redial work: failed dial
+	// attempts and successful re-establishments after a break.
+	DialFailures int64 `json:"dial_failures"`
+	Reconnects   int64 `json:"reconnects"`
+
+	// Hellos counts accepted inbound handshakes.
+	Hellos int64 `json:"hellos"`
+
+	// Backpressure counts sends shed at a full per-peer queue; Evictions
+	// counts peers the flow monitor cut off for persistent slowness.
+	Backpressure int64 `json:"backpressure"`
+	Evictions    int64 `json:"evictions"`
+
+	// FrameErrors counts connections torn down over corrupt or
+	// unexpected frames.
+	FrameErrors int64 `json:"frame_errors"`
+
+	// SockDrops, SockDelays, SockDuplicates and SockResets count what the
+	// socket-level chaos proxy did to data frames.
+	SockDrops      int64 `json:"sock_drops"`
+	SockDelays     int64 `json:"sock_delays"`
+	SockDuplicates int64 `json:"sock_duplicates"`
+	SockResets     int64 `json:"sock_resets"`
+}
+
+func (n NetSnapshot) empty() bool { return n == NetSnapshot{} }
+
 // NewMetrics returns an empty Metrics.
 func NewMetrics() *Metrics {
 	m := &Metrics{}
@@ -169,6 +207,7 @@ func (m *Metrics) reset() {
 	m.faults = FaultSnapshot{}
 	m.recovery = RecoverySnapshot{}
 	m.mc = MCSnapshot{}
+	m.net = NetSnapshot{}
 	// The registry is cleared in place, never replaced: Telemetry handles
 	// and pool meters resolved against it stay live across Reset.
 	if m.hists == nil {
@@ -356,6 +395,33 @@ func (m *Metrics) Event(kind string, r, p int, fields map[string]any) {
 		if asInt64(fields["from_snapshot"]) > 0 {
 			m.recovery.SnapshotResumes++
 		}
+	case "netsub.conn_open":
+		m.net.ConnsOpened++
+	case "netsub.conn_close":
+		m.net.ConnsClosed++
+	case "netsub.dial_fail":
+		m.net.DialFailures++
+	case "netsub.reconnect":
+		m.net.Reconnects++
+	case "netsub.hello":
+		m.net.Hellos++
+	case "netsub.backpressure":
+		m.net.Backpressure++
+	case "netsub.evict":
+		m.net.Evictions++
+	case "netsub.frame_error":
+		m.net.FrameErrors++
+	case "netsub.watchdog":
+		// Same semantic as rlink.watchdog: a round abandoned to suspicion.
+		m.faults.WatchdogStalls++
+	case "sockchaos.drop":
+		m.net.SockDrops++
+	case "sockchaos.delay":
+		m.net.SockDelays++
+	case "sockchaos.duplicate":
+		m.net.SockDuplicates++
+	case "sockchaos.reset":
+		m.net.SockResets++
 	}
 	m.mu.Unlock()
 }
@@ -440,6 +506,11 @@ type Snapshot struct {
 	// violations); omitted when no mc.* event was observed.
 	MC *MCSnapshot `json:"mc,omitempty"`
 
+	// Net aggregates network-substrate transport work (connections,
+	// redials, backpressure, evictions, socket chaos); omitted when no
+	// netsub.* or sockchaos.* event was observed.
+	Net *NetSnapshot `json:"net,omitempty"`
+
 	// Hist carries the frozen latency/size histograms (quantile
 	// summaries in JSON); omitted when nothing was recorded.
 	Hist map[string]hist.Snap `json:"hist,omitempty"`
@@ -489,6 +560,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	if !m.mc.empty() {
 		mc := m.mc
 		s.MC = &mc
+	}
+	if !m.net.empty() {
+		n := m.net
+		s.Net = &n
 	}
 	if hs := m.hists.Snapshot(); len(hs) > 0 {
 		s.Hist = hs

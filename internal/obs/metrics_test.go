@@ -259,3 +259,57 @@ func TestMetricsMCCounters(t *testing.T) {
 		t.Fatal("Reset did not clear mc counters")
 	}
 }
+
+// TestMetricsNetCounters checks that netsub.* and sockchaos.* events feed
+// the NetSnapshot, that netsub.watchdog counts as a watchdog stall, and
+// that network-free snapshots omit the block.
+func TestMetricsNetCounters(t *testing.T) {
+	m := NewMetrics()
+	if m.Snapshot().Net != nil {
+		t.Fatal("network-free snapshot should omit Net")
+	}
+	m.Event("netsub.conn_open", -1, 0, map[string]any{"peer": 1, "dir": "out"})
+	m.Event("netsub.conn_open", -1, 1, map[string]any{"peer": 0, "dir": "in"})
+	m.Event("netsub.conn_close", -1, 0, map[string]any{"peer": 1, "dir": "out", "reason": "eof"})
+	m.Event("netsub.dial_fail", -1, 0, map[string]any{"peer": 1, "err": "refused"})
+	m.Event("netsub.dial_fail", -1, 0, map[string]any{"peer": 1, "err": "refused"})
+	m.Event("netsub.reconnect", -1, 0, map[string]any{"peer": 1})
+	m.Event("netsub.hello", -1, 1, map[string]any{"peer": 0, "incarnation": 1})
+	m.Event("netsub.backpressure", -1, 0, map[string]any{"peer": 1, "cap": 64})
+	m.Event("netsub.evict", -1, 0, map[string]any{"peer": 2, "strikes": 4})
+	m.Event("netsub.frame_error", -1, 1, map[string]any{"reason": "bad hello"})
+	m.Event("netsub.watchdog", 3, 0, map[string]any{"missing": 2})
+	m.Event("sockchaos.drop", -1, -1, map[string]any{"from": 0, "frame": 7})
+	m.Event("sockchaos.delay", -1, -1, nil)
+	m.Event("sockchaos.duplicate", -1, -1, nil)
+	m.Event("sockchaos.reset", -1, -1, nil)
+
+	s := m.Snapshot()
+	if s.Net == nil {
+		t.Fatal("Net missing from snapshot")
+	}
+	want := NetSnapshot{
+		ConnsOpened: 2, ConnsClosed: 1, DialFailures: 2, Reconnects: 1,
+		Hellos: 1, Backpressure: 1, Evictions: 1, FrameErrors: 1,
+		SockDrops: 1, SockDelays: 1, SockDuplicates: 1, SockResets: 1,
+	}
+	if *s.Net != want {
+		t.Fatalf("net = %+v, want %+v", *s.Net, want)
+	}
+	if s.Faults == nil || s.Faults.WatchdogStalls != 1 {
+		t.Fatalf("netsub.watchdog should count as a watchdog stall: %+v", s.Faults)
+	}
+
+	b, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"net"`) || !strings.Contains(string(b), `"dial_failures": 2`) {
+		t.Fatalf("JSON lacks net counters:\n%s", b)
+	}
+
+	m.Reset()
+	if m.Snapshot().Net != nil {
+		t.Fatal("Reset did not clear net counters")
+	}
+}

@@ -15,6 +15,7 @@ package reliablelink
 import (
 	"fmt"
 
+	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/msgnet"
 	"repro/internal/obs"
@@ -30,8 +31,15 @@ type Config struct {
 	// RetransmitCap bounds the backoff interval; 0 means 128.
 	RetransmitCap int
 
-	// MaxAttempts bounds retransmissions per frame before the sender
-	// gives the frame up for lost; 0 means 25, negative means unlimited.
+	// MaxAttempts bounds retransmissions per frame: once a frame has been
+	// retransmitted MaxAttempts times without an acknowledgement, the
+	// sender gives it up for lost ("rlink.giveup") and stops spending
+	// steps on it. 0 means 25. Any negative value means unlimited — the
+	// sender retransmits forever and the give-up path never fires, so an
+	// unreachable receiver is then handled only by the round watchdog
+	// above the link. A given-up frame is NOT redelivered later: if the
+	// receiver needed it, the round stalls and degrades into a D(i,r)
+	// suspicion (see RunRounds), never into a deadlock.
 	MaxAttempts int
 
 	// Observer, when non-nil, receives "rlink.retransmit", "rlink.giveup",
@@ -99,7 +107,8 @@ type ackKey struct {
 type pendingFrame struct {
 	payload  core.Value
 	nextAt   int // step of the next retransmission
-	interval int
+	wait     int // the interval that expires at nextAt
+	seq      *backoff.Seq
 	attempts int
 }
 
@@ -145,8 +154,9 @@ func (l *Link) Send(to core.PID, payload core.Value) error {
 	if to == l.nd.Me {
 		return nil
 	}
-	interval := l.cfg.retransmitAfter()
-	l.unacked[ackKey{to, seq}] = &pendingFrame{payload: payload, nextAt: l.nd.Clock() + interval, interval: interval}
+	bo := backoff.Policy{Initial: l.cfg.retransmitAfter(), Cap: l.cfg.retransmitCap()}.Sequence()
+	wait := bo.Next()
+	l.unacked[ackKey{to, seq}] = &pendingFrame{payload: payload, nextAt: l.nd.Clock() + wait, wait: wait, seq: bo}
 	l.order = append(l.order, ackKey{to, seq})
 	return nil
 }
@@ -258,14 +268,12 @@ func (l *Link) retransmitDue() error {
 		}
 		pf.attempts++
 		l.stats.Retransmissions++
-		// interval is the backoff that just expired — a deterministic
-		// step count, so observers can histogram the backoff ladder.
-		l.event("rlink.retransmit", map[string]any{"to": int(k.to), "seq": k.seq, "attempt": pf.attempts, "interval": pf.interval})
-		pf.interval *= 2
-		if limit := l.cfg.retransmitCap(); pf.interval > limit {
-			pf.interval = limit
-		}
-		pf.nextAt = l.nd.Clock() + pf.interval
+		// The reported interval is the backoff that just expired — a
+		// deterministic step count from the shared capped-exponential
+		// ladder, so observers can histogram it.
+		l.event("rlink.retransmit", map[string]any{"to": int(k.to), "seq": k.seq, "attempt": pf.attempts, "interval": pf.wait})
+		pf.wait = pf.seq.Next()
+		pf.nextAt = l.nd.Clock() + pf.wait
 	}
 	l.order = kept
 	return nil

@@ -104,11 +104,6 @@ type roundMsg struct {
 	value core.Value
 }
 
-type roundRecord struct {
-	dsets []core.Set
-	views []map[core.PID]core.Value
-}
-
 // RunRounds executes the round-based f-resilient asynchronous protocol of
 // §2 item 3 over reliable links on a lossy substrate: in each round a
 // process broadcasts its round message and receives until it holds n−f
@@ -130,13 +125,13 @@ func RunRounds(n, f, rounds int, cfg RoundsConfig, emit msgnet.RoundEmit) (*msgn
 		}
 	}
 
-	recs := make([]*roundRecord, n)
+	recs := make([]*msgnet.RoundRec, n)
 	stalls := make([][]Stall, n)
 	links := make([]*Link, n)
 	out, err := msgnet.Run(n, cfg.Net, func(nd *msgnet.Node) (core.Value, error) {
 		l := New(nd, cfg.Link)
 		links[nd.Me] = l
-		rec := &roundRecord{}
+		rec := &msgnet.RoundRec{}
 		recs[nd.Me] = rec
 		// future buffers messages from rounds ahead of ours.
 		future := make(map[int]map[core.PID]core.Value)
@@ -190,8 +185,8 @@ func RunRounds(n, f, rounds int, cfg RoundsConfig, emit msgnet.RoundEmit) (*msgn
 			for p := range got {
 				d.Remove(p)
 			}
-			rec.dsets = append(rec.dsets, d)
-			rec.views = append(rec.views, got)
+			rec.Dsets = append(rec.Dsets, d)
+			rec.Views = append(rec.Views, got)
 			prevMsgs, prevSus = got, d
 		}
 		return nil, l.Drain(nd.Clock() + cfg.linger())
@@ -214,46 +209,9 @@ func RunRounds(n, f, rounds int, cfg RoundsConfig, emit msgnet.RoundEmit) (*msgn
 		rep.Stalls = append(rep.Stalls, stalls[i]...)
 	}
 
-	res := &msgnet.RoundOutcome{
-		Trace: core.NewTrace(n),
-		Views: make(map[core.PID][]map[core.PID]core.Value, n),
-	}
+	crashed, steps := core.NewSet(n), 0
 	if out != nil {
-		res.Crashed = out.Crashed
-		res.Steps = out.Steps
+		crashed, steps = out.Crashed, out.Steps
 	}
-	for i := 0; i < n; i++ {
-		if recs[i] == nil {
-			recs[i] = &roundRecord{}
-		}
-		res.Views[core.PID(i)] = recs[i].views
-	}
-	for r := 1; r <= rounds; r++ {
-		rec := core.RoundRecord{
-			R:        r,
-			Suspects: make([]core.Set, n),
-			Deliver:  make([]core.Set, n),
-			Active:   core.NewSet(n),
-			Crashed:  core.NewSet(n),
-		}
-		for i := 0; i < n; i++ {
-			pid := core.PID(i)
-			if len(recs[i].dsets) >= r {
-				rec.Active.Add(pid)
-				rec.Suspects[i] = recs[i].dsets[r-1]
-				rec.Deliver[i] = recs[i].dsets[r-1].Complement()
-			} else {
-				rec.Suspects[i] = core.NewSet(n)
-				rec.Deliver[i] = core.NewSet(n)
-				if res.Crashed.Has(pid) {
-					rec.Crashed.Add(pid)
-				}
-			}
-		}
-		if rec.Active.Empty() {
-			break
-		}
-		res.Trace.Append(rec)
-	}
-	return res, rep, err
+	return msgnet.AssembleRoundOutcome(n, rounds, recs, crashed, steps), rep, err
 }
