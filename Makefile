@@ -4,12 +4,12 @@
 
 GO ?= go
 
-# Engine + agreement + chaos-campaign + TCP-substrate benchmarks tracked
-# in BENCH_core.json.
-BENCH_PKGS := ./internal/core ./internal/agreement ./internal/chaos ./internal/netsub
+# Engine + agreement + chaos-campaign + TCP-substrate + service
+# benchmarks tracked in BENCH_core.json.
+BENCH_PKGS := ./internal/core ./internal/agreement ./internal/chaos ./internal/netsub ./internal/serve
 BENCH_PAT  ?= .
 
-.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover telemetry-short net-short
+.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover telemetry-short net-short serve-short
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-ci: vet build race chaos-short recovery-short mc-short mc-cover telemetry-short net-short
+ci: vet build race chaos-short recovery-short mc-short mc-cover telemetry-short net-short serve-short
 
 # Fixed-seed, small-N fault-injection campaigns under the race detector:
 # quick enough for every CI run, loud on any safety violation (the chaos
@@ -89,6 +89,18 @@ telemetry-short:
 net-short:
 	$(GO) test -race -count 1 ./internal/netsub/
 	$(GO) run -race ./cmd/rrfdsim -substrate tcp -n 4 -f 1 -k 2 -rounds 3 -watchdog 600
+
+# Agreement-service smoke under the race detector: the service package
+# tests (durable instances, admission control, retry discipline), an
+# in-process load-generator run with its idempotency/validity/k-agreement
+# audit, the fixed-seed kill-and-recover campaign, and the same campaign
+# with the planted ack-before-journal bug — which MUST fail on the lost
+# acked decision (the leading ! inverts the expected exit 1).
+serve-short:
+	$(GO) test -race -count 1 ./internal/serve/
+	$(GO) run -race ./cmd/rrfdload -local 3 -f 1 -clients 6 -requests 10 -seed 7
+	$(GO) run -race ./cmd/rrfdsim -chaos-serve -n 3 -f 1 -k 2 -seed 7
+	! $(GO) run -race ./cmd/rrfdsim -chaos-serve -n 3 -f 1 -k 2 -seed 7 -bug
 
 # The larger sweep: every fault class, more seeds, more runs.
 chaos:

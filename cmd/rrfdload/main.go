@@ -1,0 +1,268 @@
+// Command rrfdload drives seeded client load at an agreement service and
+// audits the answers. Each simulated client owns a deterministic request
+// stream (instance IDs, values, server pins, request IDs all drawn from
+// -seed) and submits with the retrying client: bounded attempts, seeded
+// jittered backoff, the same request ID on every retry.
+//
+// After the run it audits what every client saw, across retries and
+// servers:
+//
+//   - idempotency: all decided answers for one request ID agree;
+//   - k-agreement: each instance shows at most k distinct decided values;
+//   - validity: every decided value was submitted by some client.
+//
+// Any violation makes the exit status non-zero, so the tool doubles as a
+// smoke check in CI.
+//
+// -local N skips the network setup and starts an in-process loopback
+// cluster of N nodes (journals in a temp directory) — the one-command
+// smoke test. Otherwise -addrs lists the client-facing addresses of an
+// already-running rrfdserve mesh.
+//
+// Usage:
+//
+//	rrfdload -local 3 -clients 8 -requests 50
+//	rrfdload -addrs 127.0.0.1:8000,127.0.0.1:8001,127.0.0.1:8002 -f 1 -clients 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	rrfd "repro"
+)
+
+type config struct {
+	addrs     string
+	local     int
+	f, k      int
+	clients   int
+	requests  int
+	instances int
+	seed      int64
+	timeout   time.Duration
+	attempts  int
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addrs, "addrs", "", "comma-separated client-facing addresses of a running mesh")
+	flag.IntVar(&cfg.local, "local", 0, "start an in-process loopback cluster of this size instead of dialing -addrs")
+	flag.IntVar(&cfg.f, "f", 1, "fault budget of the target mesh (defaults k to f+1)")
+	flag.IntVar(&cfg.k, "k", 0, "agreement bound audited per instance (0 = f+1)")
+	flag.IntVar(&cfg.clients, "clients", 8, "concurrent simulated clients")
+	flag.IntVar(&cfg.requests, "requests", 25, "requests per client")
+	flag.IntVar(&cfg.instances, "instances", 16, "instance-ID space the load draws from")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for the load shape and the clients' retry jitter")
+	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Second, "per-attempt client timeout")
+	flag.IntVar(&cfg.attempts, "attempts", 8, "attempt budget per request")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type outcome struct {
+	inst, req   string
+	status      rrfd.ServiceStatus
+	val         int
+	latency     time.Duration
+	unreachable bool
+}
+
+func run(cfg config, w io.Writer) error {
+	if (cfg.local > 0) == (cfg.addrs != "") {
+		return fmt.Errorf("pick exactly one of -local N and -addrs")
+	}
+	if cfg.clients <= 0 || cfg.requests <= 0 || cfg.instances <= 0 {
+		return fmt.Errorf("-clients, -requests and -instances must be positive")
+	}
+	if cfg.k == 0 {
+		cfg.k = cfg.f + 1
+	}
+
+	var addrs []string
+	if cfg.local > 0 {
+		dir, err := os.MkdirTemp("", "rrfdload")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		if cfg.f >= cfg.local {
+			cfg.f = (cfg.local - 1) / 2
+		}
+		cl, err := rrfd.StartServiceCluster(rrfd.ServiceClusterConfig{
+			N: cfg.local, F: cfg.f, K: cfg.k,
+			Dir:            dir,
+			Sync:           rrfd.SyncAlways,
+			RequestTimeout: cfg.timeout,
+			Seed:           cfg.seed,
+		})
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		addrs = cl.ClientAddrs()
+		fmt.Fprintf(w, "local cluster: %d nodes (f=%d) on %s\n", cfg.local, cfg.f, strings.Join(addrs, ","))
+	} else {
+		addrs = strings.Split(cfg.addrs, ",")
+	}
+
+	// The whole load is planted before any goroutine starts.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	type spec struct {
+		client, server int
+		inst, req      string
+		val            int
+	}
+	specs := make([]spec, 0, cfg.clients*cfg.requests)
+	submitted := map[string]map[int]bool{}
+	for ci := 0; ci < cfg.clients; ci++ {
+		crng := rand.New(rand.NewSource(rng.Int63()))
+		for ri := 0; ri < cfg.requests; ri++ {
+			sp := spec{
+				client: ci, server: crng.Intn(len(addrs)),
+				inst: fmt.Sprintf("i%d", crng.Intn(cfg.instances)),
+				req:  fmt.Sprintf("c%d-%d", ci, ri),
+				val:  crng.Intn(1000),
+			}
+			specs = append(specs, sp)
+			if submitted[sp.inst] == nil {
+				submitted[sp.inst] = map[int]bool{}
+			}
+			submitted[sp.inst][sp.val] = true
+		}
+	}
+
+	outs := make([]outcome, len(specs))
+	var retries int64
+	var retryMu sync.Mutex
+	startAll := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			conns := map[int]*rrfd.ServiceClient{}
+			defer func() {
+				for _, cc := range conns {
+					cc.Close()
+				}
+			}()
+			for si, sp := range specs {
+				if sp.client != ci {
+					continue
+				}
+				cc := conns[sp.server]
+				if cc == nil {
+					cc = rrfd.NewServiceClient(rrfd.ServiceClientConfig{
+						Addr:        addrs[sp.server],
+						Timeout:     cfg.timeout,
+						MaxAttempts: cfg.attempts,
+						Seed:        cfg.seed + int64(100*ci+sp.server),
+					})
+					conns[sp.server] = cc
+				}
+				start := time.Now()
+				resp, err := cc.Submit(sp.inst, sp.req, sp.val)
+				oc := outcome{inst: sp.inst, req: sp.req, latency: time.Since(start)}
+				if err != nil {
+					oc.unreachable = true
+				} else {
+					oc.status, oc.val = resp.Status, resp.Val
+				}
+				outs[si] = oc
+			}
+			retryMu.Lock()
+			for _, cc := range conns {
+				retries += cc.Retries
+			}
+			retryMu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(startAll)
+
+	// Tally and audit.
+	var decided, abstained, overloaded, unreachable int
+	var lat []time.Duration
+	decidedByReq := map[string]map[int]bool{}
+	decidedByInst := map[string]map[int]bool{}
+	for _, oc := range outs {
+		lat = append(lat, oc.latency)
+		switch {
+		case oc.unreachable:
+			unreachable++
+		case oc.status == rrfd.ServiceDecided:
+			decided++
+			if decidedByReq[oc.req] == nil {
+				decidedByReq[oc.req] = map[int]bool{}
+			}
+			decidedByReq[oc.req][oc.val] = true
+			if decidedByInst[oc.inst] == nil {
+				decidedByInst[oc.inst] = map[int]bool{}
+			}
+			decidedByInst[oc.inst][oc.val] = true
+		case oc.status == rrfd.ServiceAbstain:
+			abstained++
+		case oc.status == rrfd.ServiceOverload:
+			overloaded++
+		}
+	}
+	var violations []string
+	for req, vals := range decidedByReq {
+		if len(vals) > 1 {
+			violations = append(violations, fmt.Sprintf("idempotency: request %s decided %d distinct values", req, len(vals)))
+		}
+	}
+	distinctMax := 0
+	for inst, vals := range decidedByInst {
+		if len(vals) > distinctMax {
+			distinctMax = len(vals)
+		}
+		if len(vals) > cfg.k {
+			violations = append(violations, fmt.Sprintf("k-agreement: instance %s decided %d distinct values > k=%d", inst, len(vals), cfg.k))
+		}
+		for v := range vals {
+			if !submitted[inst][v] {
+				violations = append(violations, fmt.Sprintf("validity: instance %s decided %d, never submitted", inst, v))
+			}
+		}
+	}
+	sort.Strings(violations)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	fmt.Fprintf(w, "rrfdload: %d requests by %d clients in %v (%.0f req/s, %d retries)\n",
+		len(specs), cfg.clients, elapsed.Round(time.Millisecond),
+		float64(len(specs))/elapsed.Seconds(), retries)
+	fmt.Fprintf(w, "outcomes: %d decided, %d abstained, %d overloaded, %d unreachable\n",
+		decided, abstained, overloaded, unreachable)
+	fmt.Fprintf(w, "latency: p50 %v, p95 %v, max %v\n",
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), q(1.0).Round(time.Microsecond))
+	fmt.Fprintf(w, "agreement: %d instances decided, widest %d distinct values (k=%d)\n",
+		len(decidedByInst), distinctMax, cfg.k)
+	for _, v := range violations {
+		fmt.Fprintf(w, "VIOLATION %s\n", v)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("rrfdload: %d violation(s)", len(violations))
+	}
+	fmt.Fprintf(w, "ok: idempotency, validity and %d-agreement hold across all clients\n", cfg.k)
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(config{}, &buf); err == nil || !strings.Contains(err.Error(), "-local") {
+		t.Fatalf("want local/addrs error, got %v", err)
+	}
+	if err := run(config{local: 2, addrs: "x"}, &buf); err == nil {
+		t.Fatalf("accepted both -local and -addrs")
+	}
+	if err := run(config{local: 2, clients: 0}, &buf); err == nil {
+		t.Fatalf("accepted zero clients")
+	}
+}
+
+// TestLocalLoadSmoke is the one-command smoke test the CI target runs: a
+// local 3-node cluster under concurrent load, all audits clean.
+func TestLocalLoadSmoke(t *testing.T) {
+	cfg := config{
+		local: 3, f: 1,
+		clients: 4, requests: 8, instances: 6,
+		seed: 7, timeout: 2 * time.Second, attempts: 8,
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"local cluster: 3 nodes", "outcomes:", "latency:", "ok: idempotency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "32 requests by 4 clients") {
+		t.Fatalf("request accounting off:\n%s", out)
+	}
+}

@@ -30,6 +30,15 @@
 // restarted process must re-enter and terminate instead of deadlocking.
 // With -substrate tcp, -watchdog is in milliseconds.
 //
+// Agreement service: -chaos-serve runs the kill-and-recover service
+// campaign — an in-process loopback cluster of rrfdserve-style nodes
+// under concurrent seeded client load, with one node killed at a planted
+// acknowledgement count mid-batch, its journal audited offline (no
+// acknowledged decision lost, none duplicated), the node restarted from
+// the journal, and the identical load replayed with reused request IDs
+// (no retry may double-decide, k-agreement across all clients). -bug
+// plants the ack-before-journal inversion the audit must catch.
+//
 // Model checking: -mc switches to the systematic explorer — every
 // adversary schedule an enumerable model (async, kset, omission, crash)
 // allows over a small system (n ≤ 4) is executed and checked against
@@ -70,6 +79,8 @@
 //	go run ./cmd/rrfdsim -system crash -alg floodmin -resume /tmp/ck
 //	go run ./cmd/rrfdsim -chaos-recover -n 5 -f 1 -runs 100 -seed 42
 //	go run ./cmd/rrfdsim -chaos-recover -runs 60 -bug
+//	go run ./cmd/rrfdsim -chaos-serve -n 3 -f 1 -seed 7
+//	go run ./cmd/rrfdsim -chaos-serve -n 3 -f 1 -seed 7 -bug   # must fail
 package main
 
 import (
@@ -104,6 +115,7 @@ type config struct {
 	killAfter    int
 	resumeDir    string
 	chaosRecover bool
+	chaosServe   bool
 
 	// model-checking flags
 	mc        bool
@@ -156,6 +168,7 @@ func main() {
 	flag.IntVar(&cfg.killAfter, "kill-after", 0, "kill the run after this round completes and is journaled (requires -checkpoint)")
 	flag.StringVar(&cfg.resumeDir, "resume", "", "resume a journaled run from this directory (pass the original system/alg flags)")
 	flag.BoolVar(&cfg.chaosRecover, "chaos-recover", false, "run the crash-and-recover chaos campaign (crashes + supervised restarts + safety audit)")
+	flag.BoolVar(&cfg.chaosServe, "chaos-serve", false, "run the kill-and-recover agreement-service campaign (client load + mid-batch node kill + journal audit + idempotent replay)")
 	flag.BoolVar(&cfg.mc, "mc", false, "model-check: exhaustively explore every adversary schedule of a small system")
 	flag.IntVar(&cfg.mcMax, "mc-max", 0, "mc: schedule budget (0 = 1<<20)")
 	flag.IntVar(&cfg.mcDepth, "mc-depth", 0, "mc: bound enumeration to this choice depth, sample beyond it (0 = unbounded)")
@@ -233,6 +246,9 @@ func run(cfg config, w io.Writer) error {
 	}
 	if cfg.chaosRecover {
 		return runChaosRecover(cfg, tel, w)
+	}
+	if cfg.chaosServe {
+		return runChaosServe(cfg, tel, w)
 	}
 
 	var (
@@ -577,6 +593,38 @@ func runChaosRecover(cfg config, tel *rrfd.Telemetry, w io.Writer) error {
 	return nil
 }
 
+// runChaosServe executes the kill-and-recover agreement-service campaign:
+// seeded client load over a loopback cluster, one node killed at a
+// planted acknowledgement count, its journal audited, a restart, and a
+// full idempotent replay of the load.
+func runChaosServe(cfg config, tel *rrfd.Telemetry, w io.Writer) error {
+	scfg := rrfd.ServeChaosConfig{
+		N: cfg.n, F: cfg.f, K: cfg.k,
+		Seed: cfg.seed,
+		Bug:  cfg.bug,
+		Out:  w,
+	}
+	if tel != nil {
+		scfg.Observer = tel.Metrics
+		scfg.Telemetry = tel.Hist
+	}
+	sum, err := rrfd.RunServeChaos(scfg)
+	if err != nil {
+		return err
+	}
+	if tel != nil && cfg.metrics {
+		b, err := tel.Metrics.Snapshot().JSON()
+		if err != nil {
+			return fmt.Errorf("encode metrics: %w", err)
+		}
+		fmt.Fprintf(w, "metrics:\n%s\n", b)
+	}
+	if !sum.Ok() {
+		return fmt.Errorf("chaos-serve: %d service violation(s)", len(sum.Violations))
+	}
+	return nil
+}
+
 // validate rejects flag combinations that would silently do nothing — in
 // particular -o (and -trace) with trace recording disabled.
 func validate(cfg config) error {
@@ -596,8 +644,8 @@ func validate(cfg config) error {
 		return fmt.Errorf("unknown substrate %q: virtual or tcp", cfg.substrate)
 	}
 	if cfg.substrate == "tcp" {
-		if cfg.mc || cfg.chaos || cfg.chaosRecover {
-			return fmt.Errorf("-substrate tcp is its own mode: drop -mc/-chaos/-chaos-recover")
+		if cfg.mc || cfg.chaos || cfg.chaosRecover || cfg.chaosServe {
+			return fmt.Errorf("-substrate tcp is its own mode: drop -mc/-chaos/-chaos-recover/-chaos-serve")
 		}
 		if cfg.ckptDir != "" || cfg.resumeDir != "" {
 			return fmt.Errorf("-substrate tcp crashes real processes, not journaled runs: drop -checkpoint/-resume")
@@ -612,8 +660,8 @@ func validate(cfg config) error {
 	if cfg.workers > 1 && !cfg.chaos && !cfg.chaosRecover && !cfg.mc {
 		return fmt.Errorf("-workers parallelizes campaign runs: add -chaos, -chaos-recover or -mc")
 	}
-	if cfg.mc && (cfg.chaos || cfg.chaosRecover) {
-		return fmt.Errorf("-mc is its own mode: drop -chaos/-chaos-recover")
+	if cfg.mc && (cfg.chaos || cfg.chaosRecover || cfg.chaosServe) {
+		return fmt.Errorf("-mc is its own mode: drop -chaos/-chaos-recover/-chaos-serve")
 	}
 	if cfg.mc && (cfg.dumpTrace || cfg.outFile != "") {
 		return fmt.Errorf("-mc runs many executions and records no single trace: drop -trace/-o")
@@ -638,6 +686,15 @@ func validate(cfg config) error {
 	}
 	if cfg.chaos && cfg.chaosRecover {
 		return fmt.Errorf("pick one of -chaos and -chaos-recover")
+	}
+	if cfg.chaosServe && (cfg.chaos || cfg.chaosRecover) {
+		return fmt.Errorf("-chaos-serve is its own mode: drop -chaos/-chaos-recover")
+	}
+	if cfg.chaosServe && (cfg.dumpTrace || cfg.outFile != "" || cfg.perfetto != "" || cfg.eventsFile != "") {
+		return fmt.Errorf("-chaos-serve spans real sockets and records no execution trace: drop -trace/-o/-perfetto/-events")
+	}
+	if cfg.chaosServe && (cfg.ckptDir != "" || cfg.resumeDir != "") {
+		return fmt.Errorf("-chaos-serve manages its own journals: drop -checkpoint/-resume")
 	}
 	if cfg.killAfter > 0 && cfg.ckptDir == "" && cfg.resumeDir == "" {
 		return fmt.Errorf("-kill-after suspends a journaled run: add -checkpoint DIR")

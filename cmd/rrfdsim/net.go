@@ -19,6 +19,7 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	rrfd "repro"
@@ -119,12 +120,55 @@ func runNetChild(cfg config, w io.Writer) error {
 	return nil
 }
 
+// tailBuffer keeps the last max bytes written to it — enough of a dead
+// child's stderr to diagnose the failure without unbounded memory. The
+// exec machinery writes from its own goroutine while the parent may read
+// on a timeout path, so access is locked.
+type tailBuffer struct {
+	mu      sync.Mutex
+	max     int
+	buf     []byte
+	clipped bool
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.max {
+		t.buf = t.buf[len(t.buf)-t.max:]
+		t.clipped = true
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := strings.TrimSpace(string(t.buf))
+	if t.clipped && s != "" {
+		s = "…" + s
+	}
+	return s
+}
+
 // netChild tracks one spawned mesh process.
 type netChild struct {
 	cmd    *exec.Cmd
+	stderr *tailBuffer
 	ready  chan struct{}
 	result chan netResult
 	scnErr chan error
+}
+
+// failDetail renders the child's captured stderr for an audit error;
+// empty when the child said nothing.
+func (c *netChild) failDetail() string {
+	s := c.stderr.String()
+	if s == "" {
+		return ""
+	}
+	return "; stderr tail:\n" + s
 }
 
 // spawnNetChild starts this binary again as mesh process pid, passing
@@ -154,7 +198,10 @@ func spawnNetChild(cfg config, pid, incarnation int, ln *net.TCPListener, addrs 
 	}
 	defer lf.Close() // Start dups it again; the child owns that copy
 	cmd.ExtraFiles = []*os.File{lf}
-	cmd.Stderr = os.Stderr
+	// Tee the child's stderr: live on the parent's stderr for watching a
+	// run, and a bounded tail the audit errors can quote post mortem.
+	tail := &tailBuffer{max: 4096}
+	cmd.Stderr = io.MultiWriter(os.Stderr, tail)
 	out, err := cmd.StdoutPipe()
 	if err != nil {
 		return nil, err
@@ -164,6 +211,7 @@ func spawnNetChild(cfg config, pid, incarnation int, ln *net.TCPListener, addrs 
 	}
 	c := &netChild{
 		cmd:    cmd,
+		stderr: tail,
 		ready:  make(chan struct{}),
 		result: make(chan netResult, 1),
 		scnErr: make(chan error, 1),
@@ -237,7 +285,7 @@ func runNetParent(cfg config, w io.Writer) error {
 		select {
 		case <-c.ready:
 		case <-time.After(deadline):
-			return fmt.Errorf("p%d never reported ready", i)
+			return fmt.Errorf("p%d never reported ready%s", i, c.failDetail())
 		}
 	}
 
@@ -265,23 +313,27 @@ func runNetParent(cfg config, w io.Writer) error {
 		select {
 		case <-c.scnErr:
 		case <-time.After(deadline):
-			return fmt.Errorf("p%d did not terminate: the mesh deadlocked", i)
+			return fmt.Errorf("p%d did not terminate: the mesh deadlocked%s", i, c.failDetail())
 		}
 		done := make(chan error, 1)
 		go func() { done <- c.cmd.Wait() }()
 		select {
 		case err := <-done:
 			if err != nil {
-				return fmt.Errorf("p%d exited: %w", i, err)
+				// A non-zero child exit is an audit failure in its own
+				// right: quote the code and whatever the child said.
+				return fmt.Errorf("p%d exited with code %d: %w%s",
+					i, c.cmd.ProcessState.ExitCode(), err, c.failDetail())
 			}
 		case <-time.After(deadline):
-			return fmt.Errorf("p%d did not terminate: the mesh deadlocked", i)
+			return fmt.Errorf("p%d did not terminate: the mesh deadlocked%s", i, c.failDetail())
 		}
 		select {
 		case res := <-c.result:
 			results[i] = res
 		default:
-			return fmt.Errorf("p%d exited without a result line", i)
+			return fmt.Errorf("p%d exited with code %d without a result line%s",
+				i, c.cmd.ProcessState.ExitCode(), c.failDetail())
 		}
 	}
 

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTailBufferKeepsTail(t *testing.T) {
+	tb := &tailBuffer{max: 10}
+	if got := tb.String(); got != "" {
+		t.Fatalf("empty buffer renders %q", got)
+	}
+	tb.Write([]byte("short"))
+	if got := tb.String(); got != "short" {
+		t.Fatalf("got %q, want short", got)
+	}
+	// Overflow: only the last max bytes survive, marked as clipped.
+	tb.Write([]byte("0123456789abcdef"))
+	got := tb.String()
+	if !strings.HasSuffix(got, "6789abcdef") {
+		t.Fatalf("tail lost: %q", got)
+	}
+	if !strings.HasPrefix(got, "…") {
+		t.Fatalf("clipped tail not marked: %q", got)
+	}
+	if len([]rune(got)) != 11 {
+		t.Fatalf("tail length %d runes, want 10 + marker: %q", len([]rune(got)), got)
+	}
+}
+
+func TestTailBufferTrimsWhitespace(t *testing.T) {
+	tb := &tailBuffer{max: 64}
+	tb.Write([]byte("panic: boom\n\n"))
+	if got := tb.String(); got != "panic: boom" {
+		t.Fatalf("got %q", got)
+	}
+	if (&tailBuffer{max: 4, buf: []byte("  \n ")}).String() != "" {
+		t.Fatalf("whitespace-only buffer should render empty")
+	}
+}
+
+func TestFailDetailFormatting(t *testing.T) {
+	quiet := &netChild{stderr: &tailBuffer{max: 64}}
+	if d := quiet.failDetail(); d != "" {
+		t.Fatalf("silent child produced detail %q", d)
+	}
+	loud := &netChild{stderr: &tailBuffer{max: 64}}
+	loud.stderr.Write([]byte("net-child: adopt listener: bad file\n"))
+	d := loud.failDetail()
+	if !strings.HasPrefix(d, "; stderr tail:\n") {
+		t.Fatalf("detail prefix wrong: %q", d)
+	}
+	if !strings.Contains(d, "adopt listener: bad file") {
+		t.Fatalf("detail lost the message: %q", d)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestValidateChaosServeFlagCombos(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*config)
+	}{
+		{"with chaos", func(c *config) { c.chaos = true }},
+		{"with chaos-recover", func(c *config) { c.chaosRecover = true }},
+		{"with mc", func(c *config) { c.mc = true }},
+		{"with tcp substrate", func(c *config) { c.substrate = "tcp" }},
+		{"with trace", func(c *config) { c.dumpTrace = true }},
+		{"with outfile", func(c *config) { c.outFile = "t.json" }},
+		{"with perfetto", func(c *config) { c.perfetto = "t.json" }},
+		{"with checkpoint", func(c *config) { c.ckptDir = "/tmp/ck" }},
+		{"with resume", func(c *config) { c.resumeDir = "/tmp/ck" }},
+	} {
+		cfg := baseConfig()
+		cfg.chaosServe = true
+		tc.mut(&cfg)
+		if err := validate(cfg); err == nil {
+			t.Errorf("%s: validate accepted the combination", tc.name)
+		}
+	}
+}
+
+func TestRunChaosServeClean(t *testing.T) {
+	cfg := config{n: 3, f: 1, k: 2, seed: 7, chaosServe: true}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("clean campaign errored: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 violations") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunChaosServeBugFailsLoudly(t *testing.T) {
+	cfg := config{n: 3, f: 1, k: 2, seed: 7, chaosServe: true, bug: true}
+	var out bytes.Buffer
+	err := run(cfg, &out)
+	if err == nil {
+		t.Fatalf("planted ack-before-journal bug went undetected:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "service violation") {
+		t.Fatalf("err = %v, want a service-violation error", err)
+	}
+	if !strings.Contains(out.String(), "lost-ack") {
+		t.Fatalf("violation report lacks lost-ack:\n%s", out.String())
+	}
+}

@@ -1,0 +1,460 @@
+// Service-level chaos: drive seeded client load at an in-process
+// agreement-service cluster while killing and restarting a serving node
+// mid-batch, then audit the three promises the service makes:
+//
+//   - Durability: every decision the victim acknowledged to a client
+//     before the kill is in its journal, byte-for-byte recoverable — the
+//     journal-before-ack rule. The planted AckBeforeJournalBug inverts
+//     the rule so a deterministic crash hook (CrashAfterAcks) loses
+//     exactly one acknowledged decision, which this audit must catch.
+//   - Idempotency: retries reuse request IDs, across the kill and the
+//     restart; all decided answers for one request ID agree, and no
+//     journal ever holds two decisions for one instance.
+//   - k-agreement and validity: across every client, batch, and the
+//     victim's recovered state, each instance shows at most K distinct
+//     decided values, all of them submitted by some client.
+//
+// The campaign is deterministic per seed in everything it plants (load
+// shape, pins, values, kill point); scheduling decides which requests
+// abstain or go unreachable, never whether an invariant holds.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/hist"
+	"repro/internal/serve"
+	"repro/internal/wal"
+)
+
+// ServeConfig shapes a kill-and-recover service campaign.
+type ServeConfig struct {
+	// N and F shape the mesh; 0 means 3 and 1. K is the agreement bound
+	// audited across clients; 0 means F+1.
+	N, F, K int
+
+	// Clients is the number of concurrent client goroutines; Requests
+	// the submits each makes per batch; Instances the id space they
+	// draw from. 0 means 6, 12, 8.
+	Clients, Requests, Instances int
+
+	// Seed drives everything planted: per-client load, server pins,
+	// values, and the kill point. 0 means 1.
+	Seed int64
+
+	// CrashAfterAcks is the victim's deterministic kill point: it halts
+	// right after this many decisions have been acknowledged to its
+	// clients. 0 draws 2–4 from the seed.
+	CrashAfterAcks int
+
+	// Bug plants the ack-before-journal inversion on the victim; the
+	// campaign must then report a lost-ack violation.
+	Bug bool
+
+	// RequestTimeout bounds one client attempt (and the server-side
+	// deadline); 0 means 750ms.
+	RequestTimeout time.Duration
+
+	// Dir is the WAL root; "" uses a temp directory, removed afterwards.
+	Dir string
+
+	// Observer and Telemetry, when non-nil, meter the cluster.
+	Observer  obs.Observer
+	Telemetry *hist.Registry
+
+	// Out, when non-nil, receives progress and violations.
+	Out io.Writer
+}
+
+func (c *ServeConfig) withDefaults() ServeConfig {
+	out := *c
+	if out.N == 0 {
+		out.N = 3
+	}
+	if out.F == 0 {
+		out.F = 1
+	}
+	if out.K == 0 {
+		out.K = out.F + 1
+	}
+	if out.Clients == 0 {
+		out.Clients = 6
+	}
+	if out.Requests == 0 {
+		out.Requests = 12
+	}
+	if out.Instances == 0 {
+		out.Instances = 8
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.RequestTimeout == 0 {
+		out.RequestTimeout = 750 * time.Millisecond
+	}
+	return out
+}
+
+// ServeViolation is one broken service promise.
+type ServeViolation struct {
+	// Kind is "lost-ack" | "divergent-recovery" | "duplicate-journal" |
+	// "conflicting-retry" | "validity" | "k-agreement" | "incarnation" |
+	// "recovery-mismatch".
+	Kind   string
+	Detail string
+}
+
+// String renders the violation.
+func (v ServeViolation) String() string {
+	return fmt.Sprintf("serve-chaos: %s violation: %s", v.Kind, v.Detail)
+}
+
+// ServeSummary aggregates one campaign.
+type ServeSummary struct {
+	N, F, K                      int
+	Clients, Requests, Instances int
+	Seed                         int64
+
+	// CrashAfterAcks is the planted kill point; CrashFired whether the
+	// victim reached it mid-batch (else it was killed at batch end).
+	CrashAfterAcks int
+	CrashFired     bool
+
+	// Acked counts decided answers clients received (both batches);
+	// Abstains, Overloads and Unreachable count the degraded outcomes;
+	// Retries totals client backoff sleeps.
+	Acked, Abstains, Overloads, Unreachable int
+	Retries                                 int64
+
+	// VictimAckedPreKill is the durability audit's subject size:
+	// decisions the victim acknowledged before dying. DurableDecisions
+	// is its journal's decision count at that moment.
+	VictimAckedPreKill int
+	DurableDecisions   int
+
+	// DistinctMax is the widest per-instance decided-value set seen.
+	DistinctMax int
+
+	// VictimIncarnation is the restarted victim's incarnation (want 2).
+	VictimIncarnation int
+
+	Violations []ServeViolation
+}
+
+// Ok reports whether every service promise held.
+func (s *ServeSummary) Ok() bool { return len(s.Violations) == 0 }
+
+// String renders the campaign result.
+func (s *ServeSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serve-chaos: n=%d f=%d k=%d clients=%d×%d seed=%d: %d acked, %d abstained, %d overloaded, %d unreachable, %d retries; victim acked %d pre-kill (crash@%d fired=%v), %d durable, incarnation %d, distinct<=%d; %d violations",
+		s.N, s.F, s.K, s.Clients, s.Requests, s.Seed,
+		s.Acked, s.Abstains, s.Overloads, s.Unreachable, s.Retries,
+		s.VictimAckedPreKill, s.CrashAfterAcks, s.CrashFired,
+		s.DurableDecisions, s.VictimIncarnation, s.DistinctMax, len(s.Violations))
+	for _, v := range s.Violations {
+		fmt.Fprintf(&b, "\n%s", v)
+	}
+	return b.String()
+}
+
+// reqSpec is one planted request: everything about it is drawn from the
+// seed before any goroutine starts, so batch B can replay the identical
+// load (same request IDs, same pins) against the restarted victim.
+type reqSpec struct {
+	client, idx int
+	inst, req   string
+	val         int
+	server      int
+}
+
+// reqOutcome is what one attempt batch observed for a spec.
+type reqOutcome struct {
+	status      serve.Status
+	val         int
+	unreachable bool
+}
+
+// RunServe runs one kill-and-recover service campaign.
+func RunServe(cfg ServeConfig) (*ServeSummary, error) {
+	c := cfg.withDefaults()
+	sum := &ServeSummary{
+		N: c.N, F: c.F, K: c.K,
+		Clients: c.Clients, Requests: c.Requests, Instances: c.Instances,
+		Seed: c.Seed,
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	sum.CrashAfterAcks = c.CrashAfterAcks
+	if sum.CrashAfterAcks == 0 {
+		sum.CrashAfterAcks = 2 + rng.Intn(3)
+	}
+
+	dir := c.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "serve-chaos")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	victim := c.N - 1
+	cl, err := serve.StartCluster(serve.ClusterConfig{
+		N: c.N, F: c.F, K: c.K,
+		Dir:            dir,
+		Sync:           wal.SyncAlways,
+		RequestTimeout: c.RequestTimeout,
+		InstanceTTL:    4 * c.RequestTimeout,
+		Seed:           c.Seed,
+		Observer:       c.Observer,
+		Hist:           c.Telemetry,
+		Tune: func(i int, sc *serve.Config) {
+			if i == victim {
+				sc.CrashAfterAcks = sum.CrashAfterAcks
+				sc.AckBeforeJournalBug = c.Bug
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	addrs := cl.ClientAddrs()
+
+	// Plant the whole load up front, deterministically. Client 0's first
+	// few requests pin victim-exclusive instances: no other client ever
+	// submits them, so the victim commits each with a live waiter and the
+	// CrashAfterAcks counter provably reaches the kill point mid-batch —
+	// shared instances often reach the victim as peer decide broadcasts
+	// first, and the resulting idempotent acks don't count.
+	exclusive := sum.CrashAfterAcks + 2
+	if exclusive > c.Requests {
+		exclusive = c.Requests
+	}
+	specs := make([]reqSpec, 0, c.Clients*c.Requests)
+	for ci := 0; ci < c.Clients; ci++ {
+		crng := rand.New(rand.NewSource(rng.Int63()))
+		for ri := 0; ri < c.Requests; ri++ {
+			sp := reqSpec{
+				client: ci, idx: ri,
+				inst:   fmt.Sprintf("i%d", crng.Intn(c.Instances)),
+				req:    fmt.Sprintf("c%d-%d", ci, ri),
+				val:    crng.Intn(1000),
+				server: crng.Intn(c.N),
+			}
+			if ci == 0 && ri < exclusive {
+				sp.inst = fmt.Sprintf("v%d", ri)
+				sp.server = victim
+			}
+			specs = append(specs, sp)
+		}
+	}
+	submitted := map[string]map[int]bool{} // inst → submitted values
+	for _, sp := range specs {
+		if submitted[sp.inst] == nil {
+			submitted[sp.inst] = map[int]bool{}
+		}
+		submitted[sp.inst][sp.val] = true
+	}
+
+	progress := func(format string, args ...any) {
+		if c.Out != nil {
+			fmt.Fprintf(c.Out, format+"\n", args...)
+		}
+	}
+	progress("serve-chaos: n=%d f=%d cluster up, victim p%d crash@%d acks (bug=%v), driving %d clients × %d requests",
+		c.N, c.F, victim, sum.CrashAfterAcks, c.Bug, c.Clients, c.Requests)
+
+	runBatch := func(batch int, attempts int) []reqOutcome {
+		outs := make([]reqOutcome, len(specs))
+		var wg sync.WaitGroup
+		for ci := 0; ci < c.Clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				conns := map[int]*serve.Client{}
+				defer func() {
+					for _, cc := range conns {
+						cc.Close()
+					}
+				}()
+				for si, sp := range specs {
+					if sp.client != ci {
+						continue
+					}
+					cc := conns[sp.server]
+					if cc == nil {
+						cc = serve.NewClient(serve.ClientConfig{
+							Addr:        addrs[sp.server],
+							Timeout:     c.RequestTimeout,
+							MaxAttempts: attempts,
+							RetryUnit:   2 * time.Millisecond,
+							Seed:        c.Seed + int64(1000*batch+100*ci+sp.server),
+						})
+						conns[sp.server] = cc
+					}
+					resp, err := cc.Submit(sp.inst, sp.req, sp.val)
+					if err != nil {
+						outs[si] = reqOutcome{unreachable: true}
+						continue
+					}
+					outs[si] = reqOutcome{status: resp.Status, val: resp.Val}
+				}
+				for _, cc := range conns {
+					sum.noteRetries(cc.Retries)
+				}
+			}(ci)
+		}
+		wg.Wait()
+		return outs
+	}
+
+	// Batch A: the victim dies somewhere in the middle of this.
+	batchA := runBatch(0, 4)
+	select {
+	case <-cl.Servers[victim].Crashed():
+		sum.CrashFired = true
+	default:
+	}
+	cl.Servers[victim].Kill()
+	if sum.CrashFired {
+		progress("serve-chaos: victim p%d hit its crash hook mid-batch", victim)
+	} else {
+		progress("serve-chaos: victim p%d outlived the hook; killed at batch end", victim)
+	}
+
+	// Durability audit against the dead victim's journal — before the
+	// restart, so nothing the mesh re-teaches can mask a loss.
+	js, err := serve.ReadJournal(filepath.Join(dir, fmt.Sprintf("n%d", victim)))
+	if err != nil {
+		return nil, fmt.Errorf("read victim journal: %w", err)
+	}
+	sum.DurableDecisions = len(js.Decisions)
+	for _, inst := range js.DuplicateDecisions {
+		sum.violate("duplicate-journal", fmt.Sprintf("victim journal decided instance %s more than once", inst))
+	}
+	for si, sp := range specs {
+		if sp.server != victim || batchA[si].status != serve.StatusDecided {
+			continue
+		}
+		sum.VictimAckedPreKill++
+		durable, ok := js.Decisions[sp.inst]
+		if !ok {
+			sum.violate("lost-ack", fmt.Sprintf(
+				"victim acknowledged %s=%d to request %s, journal has no decision for it",
+				sp.inst, batchA[si].val, sp.req))
+		} else if durable != batchA[si].val {
+			sum.violate("divergent-recovery", fmt.Sprintf(
+				"victim acknowledged %s=%d, journal holds %d", sp.inst, batchA[si].val, durable))
+		}
+	}
+
+	restarted, err := cl.Restart(victim, nil)
+	if err != nil {
+		return nil, err
+	}
+	sum.VictimIncarnation = restarted.Incarnation()
+	if sum.VictimIncarnation < 2 {
+		sum.violate("incarnation", fmt.Sprintf("restarted victim reports incarnation %d, want >= 2", sum.VictimIncarnation))
+	}
+	rec := restarted.RecoveredDecisions()
+	if len(rec) != len(js.Decisions) {
+		sum.violate("recovery-mismatch", fmt.Sprintf(
+			"restart recovered %d decisions, journal held %d", len(rec), len(js.Decisions)))
+	}
+	progress("serve-chaos: victim restarted as incarnation %d with %d recovered decisions; replaying the full load",
+		sum.VictimIncarnation, len(rec))
+
+	// Batch B: the identical load again — every request ID reused, the
+	// restarted victim included.
+	batchB := runBatch(1, 8)
+
+	// Cross-batch audits.
+	decidedByReq := map[string]map[int]bool{}
+	decidedByInst := map[string]map[int]bool{}
+	note := func(inst, req string, val int) {
+		if decidedByReq[req] == nil {
+			decidedByReq[req] = map[int]bool{}
+		}
+		decidedByReq[req][val] = true
+		if decidedByInst[inst] == nil {
+			decidedByInst[inst] = map[int]bool{}
+		}
+		decidedByInst[inst][val] = true
+	}
+	for _, outs := range [][]reqOutcome{batchA, batchB} {
+		for si, oc := range outs {
+			switch {
+			case oc.unreachable:
+				sum.Unreachable++
+			case oc.status == serve.StatusDecided:
+				sum.Acked++
+				note(specs[si].inst, specs[si].req, oc.val)
+			case oc.status == serve.StatusAbstain:
+				sum.Abstains++
+			case oc.status == serve.StatusOverload:
+				sum.Overloads++
+			}
+		}
+	}
+	for inst, val := range js.Decisions {
+		note(inst, "", val)
+	}
+	delete(decidedByReq, "")
+	for req, vals := range decidedByReq {
+		if len(vals) > 1 {
+			sum.violate("conflicting-retry", fmt.Sprintf(
+				"request %s received %d distinct decided values %v across retries", req, len(vals), keys(vals)))
+		}
+	}
+	for inst, vals := range decidedByInst {
+		if len(vals) > sum.DistinctMax {
+			sum.DistinctMax = len(vals)
+		}
+		if len(vals) > c.K {
+			sum.violate("k-agreement", fmt.Sprintf(
+				"instance %s decided %d distinct values %v > k=%d", inst, len(vals), keys(vals), c.K))
+		}
+		for v := range vals {
+			if !submitted[inst][v] {
+				sum.violate("validity", fmt.Sprintf(
+					"instance %s decided %d, which no client submitted", inst, v))
+			}
+		}
+	}
+
+	if c.Out != nil {
+		// The summary's String already carries every violation.
+		fmt.Fprintf(c.Out, "%s\n", sum)
+	}
+	return sum, nil
+}
+
+var retryMu sync.Mutex
+
+func (s *ServeSummary) noteRetries(n int64) {
+	retryMu.Lock()
+	s.Retries += n
+	retryMu.Unlock()
+}
+
+func (s *ServeSummary) violate(kind, detail string) {
+	s.Violations = append(s.Violations, ServeViolation{Kind: kind, Detail: detail})
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

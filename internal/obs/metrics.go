@@ -42,6 +42,7 @@ type Metrics struct {
 	recovery           RecoverySnapshot
 	mc                 MCSnapshot
 	net                NetSnapshot
+	serve              ServeSnapshot
 
 	// Histograms record outside the mutex (hist is sharded-atomic); the
 	// hot-path ones are resolved to direct pointers at construction.
@@ -182,6 +183,47 @@ type NetSnapshot struct {
 
 func (n NetSnapshot) empty() bool { return n == NetSnapshot{} }
 
+// ServeSnapshot aggregates agreement-service counters, derived from the
+// serve.* event stream of internal/serve: decisions committed, idempotent
+// replays, admission-control sheds, deadline abstains, and the
+// crash-recovery lifecycle of service nodes.
+type ServeSnapshot struct {
+	// Decisions counts instance decisions committed (journaled then
+	// acked); Adoptions the subset learned from a peer's decide broadcast
+	// rather than gathered locally.
+	Decisions int64 `json:"decisions"`
+	Adoptions int64 `json:"adoptions"`
+
+	// IdempotentReplays counts requests answered from the decided table
+	// because their request ID (or instance) had already been settled.
+	IdempotentReplays int64 `json:"idempotent_replays"`
+
+	// Sheds counts submissions refused by admission control at a full
+	// in-flight table; PeerSheds the subset where the shed proposal
+	// arrived from a peer rather than a client.
+	Sheds     int64 `json:"sheds"`
+	PeerSheds int64 `json:"peer_sheds"`
+
+	// Abstains counts requests that hit their deadline before n-f
+	// proposals gathered and were answered StatusAbstain.
+	Abstains int64 `json:"abstains"`
+
+	// InstanceEvictions counts undecided instances evicted at their TTL.
+	InstanceEvictions int64 `json:"instance_evictions"`
+
+	// Recoveries counts node restarts that replayed a journal;
+	// RecoveredDecisions totals the decisions those replays restored.
+	Recoveries         int64 `json:"recoveries"`
+	RecoveredDecisions int64 `json:"recovered_decisions"`
+
+	// Crashes counts planted chaos crashes fired; BadPeerMsgs counts
+	// malformed mesh messages dropped.
+	Crashes     int64 `json:"crashes"`
+	BadPeerMsgs int64 `json:"bad_peer_msgs"`
+}
+
+func (s ServeSnapshot) empty() bool { return s == ServeSnapshot{} }
+
 // NewMetrics returns an empty Metrics.
 func NewMetrics() *Metrics {
 	m := &Metrics{}
@@ -208,6 +250,7 @@ func (m *Metrics) reset() {
 	m.recovery = RecoverySnapshot{}
 	m.mc = MCSnapshot{}
 	m.net = NetSnapshot{}
+	m.serve = ServeSnapshot{}
 	// The registry is cleared in place, never replaced: Telemetry handles
 	// and pool meters resolved against it stay live across Reset.
 	if m.hists == nil {
@@ -414,6 +457,29 @@ func (m *Metrics) Event(kind string, r, p int, fields map[string]any) {
 	case "netsub.watchdog":
 		// Same semantic as rlink.watchdog: a round abandoned to suspicion.
 		m.faults.WatchdogStalls++
+	case "serve.decide":
+		m.serve.Decisions++
+	case "serve.adopt":
+		m.serve.Decisions++
+		m.serve.Adoptions++
+	case "serve.dup":
+		m.serve.IdempotentReplays++
+	case "serve.shed":
+		m.serve.Sheds++
+		if b, ok := fields["peer"].(bool); ok && b {
+			m.serve.PeerSheds++
+		}
+	case "serve.abstain":
+		m.serve.Abstains++
+	case "serve.evict_instance":
+		m.serve.InstanceEvictions++
+	case "serve.recover":
+		m.serve.Recoveries++
+		m.serve.RecoveredDecisions += asInt64(fields["decisions"])
+	case "serve.crash":
+		m.serve.Crashes++
+	case "serve.bad_peer_msg":
+		m.serve.BadPeerMsgs++
 	case "sockchaos.drop":
 		m.net.SockDrops++
 	case "sockchaos.delay":
@@ -511,6 +577,11 @@ type Snapshot struct {
 	// netsub.* or sockchaos.* event was observed.
 	Net *NetSnapshot `json:"net,omitempty"`
 
+	// Serve aggregates agreement-service work (decisions, idempotent
+	// replays, sheds, abstains, recoveries); omitted when no serve.*
+	// event was observed.
+	Serve *ServeSnapshot `json:"serve,omitempty"`
+
 	// Hist carries the frozen latency/size histograms (quantile
 	// summaries in JSON); omitted when nothing was recorded.
 	Hist map[string]hist.Snap `json:"hist,omitempty"`
@@ -564,6 +635,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	if !m.net.empty() {
 		n := m.net
 		s.Net = &n
+	}
+	if !m.serve.empty() {
+		sv := m.serve
+		s.Serve = &sv
 	}
 	if hs := m.hists.Snapshot(); len(hs) > 0 {
 		s.Hist = hs

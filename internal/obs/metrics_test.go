@@ -313,3 +313,48 @@ func TestMetricsNetCounters(t *testing.T) {
 		t.Fatal("Reset did not clear net counters")
 	}
 }
+
+func TestMetricsServeCounters(t *testing.T) {
+	m := NewMetrics()
+	if m.Snapshot().Serve != nil {
+		t.Fatal("service-free snapshot should omit Serve")
+	}
+	m.Event("serve.decide", -1, 0, map[string]any{"gathered": 2})
+	m.Event("serve.decide", -1, 1, map[string]any{"gathered": 2})
+	m.Event("serve.adopt", -1, 2, nil)
+	m.Event("serve.dup", -1, 0, nil)
+	m.Event("serve.dup", -1, 0, nil)
+	m.Event("serve.shed", -1, 0, map[string]any{"inflight": 64})
+	m.Event("serve.shed", -1, 1, map[string]any{"inflight": 64, "peer": true})
+	m.Event("serve.abstain", -1, 0, map[string]any{"gathered": 1, "need": 2})
+	m.Event("serve.evict_instance", -1, 0, map[string]any{"gathered": 1})
+	m.Event("serve.recover", -1, 2, map[string]any{"incarnation": 2, "decisions": 5, "proposals": 7})
+	m.Event("serve.crash", -1, 2, map[string]any{"acked": 3})
+	m.Event("serve.bad_peer_msg", -1, 1, map[string]any{"err": "short frame"})
+
+	s := m.Snapshot()
+	if s.Serve == nil {
+		t.Fatal("Serve missing from snapshot")
+	}
+	want := ServeSnapshot{
+		Decisions: 3, Adoptions: 1, IdempotentReplays: 2,
+		Sheds: 2, PeerSheds: 1, Abstains: 1, InstanceEvictions: 1,
+		Recoveries: 1, RecoveredDecisions: 5, Crashes: 1, BadPeerMsgs: 1,
+	}
+	if *s.Serve != want {
+		t.Fatalf("serve = %+v, want %+v", *s.Serve, want)
+	}
+
+	b, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"serve"`) || !strings.Contains(string(b), `"recovered_decisions": 5`) {
+		t.Fatalf("JSON lacks serve counters:\n%s", b)
+	}
+
+	m.Reset()
+	if m.Snapshot().Serve != nil {
+		t.Fatal("Reset did not clear serve counters")
+	}
+}

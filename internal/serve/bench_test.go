@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// BenchmarkServeDecide measures one end-to-end decision through the
+// service: client submit over loopback TCP → mesh propose/gather across
+// a 3-node cluster → journal append → acknowledged response. SyncNever
+// keeps the fsync cost of the filesystem out of the number; the journal
+// write path itself is included.
+func BenchmarkServeDecide(b *testing.B) {
+	cl, err := StartCluster(ClusterConfig{
+		N: 3, F: 1, K: 2,
+		Dir:            b.TempDir(),
+		Sync:           wal.SyncNever,
+		RequestTimeout: 5 * time.Second,
+		Seed:           1,
+	})
+	if err != nil {
+		b.Fatalf("StartCluster: %v", err)
+	}
+	defer cl.Close()
+	c := NewClient(ClientConfig{Addr: cl.ClientAddrs()[0], Timeout: 5 * time.Second, Seed: 1})
+	defer c.Close()
+
+	// Warm the mesh so dial latency stays out of the measurement.
+	if _, err := c.Submit("warm", "warm", 0); err != nil {
+		b.Fatalf("warmup: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := fmt.Sprintf("bench-%d", i)
+		resp, err := c.Submit(inst, inst, i)
+		if err != nil {
+			b.Fatalf("submit %d: %v", i, err)
+		}
+		if resp.Status != StatusDecided {
+			b.Fatalf("submit %d: status %s", i, resp.Status)
+		}
+	}
+}

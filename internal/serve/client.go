@@ -1,0 +1,176 @@
+// Client-side retry discipline: a Client submits proposals over the
+// newline-JSON protocol, retrying overloads, abstains, and transport
+// failures with capped-exponential seeded-jitter backoff
+// (internal/backoff) — and always under the same request ID, so a retry
+// can never decide a second time: the server's decision table answers
+// every duplicate.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/backoff"
+)
+
+// ClientConfig shapes one service client.
+type ClientConfig struct {
+	// Addr is the server's client-facing address.
+	Addr string
+
+	// Timeout bounds one attempt end to end (dial, write, read); it is
+	// also forwarded as the request's server-side deadline. 0 means 2s.
+	Timeout time.Duration
+
+	// MaxAttempts bounds submit retries (first try included). 0 means 8.
+	MaxAttempts int
+
+	// Retry is the backoff ladder between attempts, in units of
+	// RetryUnit; the zero policy means {Initial: 1, Cap: 64, Jitter:
+	// 0.2} — RetryUnit doubling to 64×RetryUnit with ±20% seeded jitter.
+	Retry backoff.Policy
+
+	// RetryUnit scales Retry intervals. 0 means 5ms.
+	RetryUnit time.Duration
+
+	// Seed derives the jitter stream; equal seeds retry on equal
+	// schedules.
+	Seed int64
+}
+
+func (c *ClientConfig) fill() {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.Retry == (backoff.Policy{}) {
+		c.Retry = backoff.Policy{Initial: 1, Cap: 64, Jitter: 0.2}
+	}
+	if c.RetryUnit <= 0 {
+		c.RetryUnit = 5 * time.Millisecond
+	}
+}
+
+// Client is a single-goroutine service client: one connection, one
+// request in flight at a time. Not safe for concurrent use; drive one
+// Client per goroutine.
+type Client struct {
+	cfg  ClientConfig
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	seq  *backoff.Seq
+
+	// Retries counts backoff sleeps taken; Attempts counts wire
+	// attempts. Exposed for load-generator accounting.
+	Retries  int64
+	Attempts int64
+}
+
+// NewClient returns a client for addr. No connection is made until the
+// first request, and a broken connection redials on the next attempt —
+// a dead server costs retries, never a construction error.
+func NewClient(cfg ClientConfig) *Client {
+	cfg.fill()
+	return &Client{cfg: cfg, seq: cfg.Retry.Seeded(cfg.Seed)}
+}
+
+// Submit proposes val for instance inst under request ID req, retrying
+// until the instance decides or attempts run out.
+//
+// The result is (response, nil) whenever a structured answer was
+// received — callers switch on Status: StatusDecided is final;
+// StatusAbstain or StatusOverload mean every attempt degraded. The error
+// is non-nil only when no attempt got a response at all
+// (*UnreachableError).
+func (c *Client) Submit(inst, req string, val int) (Response, error) {
+	return c.retry(Request{
+		Op: "submit", Inst: inst, Req: req, Val: val,
+		TimeoutMS: int(c.cfg.Timeout / time.Millisecond),
+	})
+}
+
+// Query reads the decision for inst, if the server has one
+// (StatusDecided or StatusUnknown). Transport failures are retried like
+// Submit; unknown is a final answer, not a retryable state.
+func (c *Client) Query(inst string) (Response, error) {
+	return c.retry(Request{Op: "query", Inst: inst})
+}
+
+func (c *Client) retry(req Request) (Response, error) {
+	var (
+		last    Response
+		lastErr error
+		gotAny  bool
+	)
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.Retries++
+			time.Sleep(c.seq.NextDuration(c.cfg.RetryUnit))
+		}
+		c.Attempts++
+		resp, err := c.roundTrip(req)
+		if err != nil {
+			lastErr = err
+			c.dropConn()
+			continue
+		}
+		gotAny, last = true, resp
+		switch resp.Status {
+		case StatusDecided, StatusUnknown:
+			c.seq.Reset()
+			return resp, nil
+		case StatusError:
+			return resp, fmt.Errorf("serve: server rejected request: %s", resp.Err)
+		}
+		// StatusAbstain and StatusOverload: back off and retry with the
+		// same request ID.
+	}
+	if gotAny {
+		return last, nil
+	}
+	return Response{}, &UnreachableError{Addr: c.cfg.Addr, Attempts: c.cfg.MaxAttempts, Last: lastErr}
+}
+
+// roundTrip runs one attempt: ensure a connection, send the request,
+// read its response. Any failure invalidates the connection, so request
+// and response streams can never skew.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	deadline := time.Now().Add(c.cfg.Timeout + 500*time.Millisecond)
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.Timeout)
+		if err != nil {
+			return Response{}, err
+		}
+		c.conn = conn
+		c.enc = newLineEncoder(conn)
+		c.dec = newLineDecoder(conn)
+	}
+	c.conn.SetDeadline(deadline)
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.enc, c.dec = nil, nil
+	}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.dropConn()
+	return nil
+}

@@ -1,0 +1,919 @@
+// Package serve is agreement-as-a-service: one Server multiplexes many
+// concurrent k-set agreement instances over a single netsub peer mesh,
+// journals per-instance proposals and decisions through internal/wal so
+// an acknowledged decision survives kill-and-restart, and defends itself
+// under overload.
+//
+// The protocol per instance is the quorum form of §2 item 3: each server
+// adopts the first value it hears for an instance (its own client's, or
+// a peer's) as its proposal, broadcasts it, and decides the minimum of
+// the first n−f proposals it gathers. Views that contain n−f of the n
+// proposals overlap enough that at most f+1 distinct minima exist, so
+// k-agreement holds for k ≥ f+1 — the same eq. (3) argument the
+// simulation stack checks, here per instance. Decisions are broadcast and
+// adopted, which only merges decision sets and never widens them.
+//
+// Robustness is the headline, in three layers:
+//
+//   - Durability: proposals and decisions are journaled before a decision
+//     is acknowledged to any client (journal-before-ack). A killed and
+//     restarted server replays its WAL, re-enters the mesh with the next
+//     incarnation, and still holds every decision it ever acknowledged.
+//     The Config.AckBeforeJournalBug flag plants the classic inversion of
+//     this rule for the chaos campaign to catch.
+//   - Admission control: the in-flight instance table is bounded; a
+//     submit that would exceed it is shed with a structured
+//     *OverloadError (StatusOverload on the wire) instead of queued.
+//   - Deadlines: every request carries a deadline; when it expires before
+//     a quorum view forms the server answers abstain-and-report
+//     (StatusAbstain with view progress) instead of hanging, and an
+//     undecided instance is evicted after a TTL so the table stays
+//     bounded under churn.
+//
+// A request that times out, gets shed, or hits a dead server is safely
+// retried by Client with seeded-jitter backoff and the same request ID:
+// the decision table makes every retry idempotent.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsub"
+	"repro/internal/obs"
+	"repro/internal/obs/hist"
+	"repro/internal/wal"
+)
+
+// Config shapes one serving node.
+type Config struct {
+	// Me is this server's pid; N the mesh size; F the crash bound. The
+	// decision rule gathers n−f proposals, so decisions stay within the
+	// k = f+1 bound of eq. (3).
+	Me core.PID
+	N  int
+	F  int
+
+	// MeshAddrs maps each pid to its mesh listen address. MeshListener,
+	// when non-nil, is the pre-bound mesh listener (else MeshAddrs[Me]
+	// is bound).
+	MeshAddrs    []string
+	MeshListener net.Listener
+
+	// ClientAddr is the client-facing listen address ("127.0.0.1:0" for
+	// an ephemeral port); ClientListener, when non-nil, wins.
+	ClientAddr     string
+	ClientListener net.Listener
+
+	// WALDir is the journal directory. Start replays whatever is there:
+	// a fresh directory is incarnation 1, a survivor of a kill restarts
+	// as incarnation boots+1 and still holds every journaled decision.
+	WALDir string
+
+	// Sync is the journal fsync policy. The zero value (wal.SyncNever)
+	// survives process kills but not power loss; production servers and
+	// the chaos campaigns run wal.SyncAlways.
+	Sync wal.SyncMode
+
+	// MaxInflight bounds the undecided-instance table; a submit that
+	// would open an instance beyond it is shed with *OverloadError.
+	// 0 means 1024.
+	MaxInflight int
+
+	// RequestTimeout is the default per-request deadline (a request may
+	// shorten or extend its own via TimeoutMS); past it the server
+	// answers abstain. 0 means 2s.
+	RequestTimeout time.Duration
+
+	// InstanceTTL evicts an undecided instance (abstaining any waiters
+	// still attached) so the table stays bounded; the journaled proposal
+	// keeps a later resubmission first-wins consistent. 0 means
+	// 2×RequestTimeout.
+	InstanceTTL time.Duration
+
+	// Mesh tunes the netsub transport (queue sizes, heartbeats, redial
+	// policy). Me/N/Addrs/Listener/Incarnation/Seed/Observer/Hist are
+	// overwritten from this Config.
+	Mesh netsub.Config
+
+	// Seed derives the mesh redial jitter.
+	Seed int64
+
+	// Observer, when non-nil, receives "serve.*" events; Hist, when
+	// non-nil, receives request/decide latency and table depth
+	// distributions.
+	Observer obs.Observer
+	Hist     *hist.Registry
+
+	// AckBeforeJournalBug plants the durability inversion: decisions are
+	// acknowledged to clients before they are journaled, so a crash in
+	// between loses an acknowledged decision. Exists to be caught by the
+	// chaos campaign; never set it otherwise.
+	AckBeforeJournalBug bool
+
+	// CrashAfterAcks, when >0, halts the server abruptly (no clean
+	// shutdown, Crashed() closes) immediately after the CrashAfterAcks-th
+	// decision acknowledged to at least one client — the chaos campaign's
+	// deterministic kill point.
+	CrashAfterAcks int
+}
+
+func (c *Config) fill() error {
+	if c.N <= 0 {
+		return fmt.Errorf("serve: invalid mesh size %d", c.N)
+	}
+	if c.Me < 0 || int(c.Me) >= c.N {
+		return fmt.Errorf("serve: pid %d outside mesh of %d", c.Me, c.N)
+	}
+	if c.F < 0 || c.F >= c.N {
+		return fmt.Errorf("serve: need 0 <= f < n, got f=%d n=%d", c.F, c.N)
+	}
+	if c.WALDir == "" {
+		return fmt.Errorf("serve: WALDir is required")
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.InstanceTTL <= 0 {
+		c.InstanceTTL = 2 * c.RequestTimeout
+	}
+	if c.ClientAddr == "" && c.ClientListener == nil {
+		c.ClientAddr = "127.0.0.1:0"
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of a server's counters.
+type Stats struct {
+	// Submits counts submit requests received; IdempotentHits the subset
+	// answered straight from the decision table (retries, duplicates).
+	Submits        int64
+	IdempotentHits int64
+
+	// Decisions counts instances this server decided locally; Adopted
+	// the decisions learned from peer broadcasts; AckedDecisions the
+	// decisions acknowledged to at least one waiting client.
+	Decisions      int64
+	Adopted        int64
+	AckedDecisions int64
+
+	// Overloads counts submits shed by admission control; Abstains
+	// counts requests degraded to abstain at their deadline; Evictions
+	// counts undecided instances dropped at their TTL.
+	Overloads int64
+	Abstains  int64
+	Evictions int64
+
+	// PeerProposes and PeerDecides count mesh messages handled;
+	// PeerSheds counts peer proposals dropped because the instance
+	// table was full.
+	PeerProposes int64
+	PeerDecides  int64
+	PeerSheds    int64
+
+	// Queries counts query requests.
+	Queries int64
+
+	// RecoveredDecisions and RecoveredProposals count journal records
+	// replayed at start; Incarnation is boots+1.
+	RecoveredDecisions int64
+	RecoveredProposals int64
+	Incarnation        int
+}
+
+// instance is one in-flight agreement instance.
+type instance struct {
+	id       string
+	proposal int
+	got      map[core.PID]int // pid → proposal heard (includes self)
+	waiters  []*waiter
+	start    time.Time
+	gen      uint64 // guards TTL timers across evict/reopen
+}
+
+// waiter is one client request attached to an instance.
+type waiter struct {
+	req   string
+	cc    *clientConn
+	start time.Time
+	timer *time.Timer
+}
+
+// event is the closed set of inputs the server loop consumes.
+type (
+	submitEv struct {
+		req   Request
+		cc    *clientConn
+		start time.Time
+	}
+	queryEv struct {
+		req Request
+		cc  *clientConn
+	}
+	peerEv struct {
+		from core.PID
+		kind byte
+		inst string
+		val  int
+	}
+	reqExpireEv struct {
+		inst string
+		req  string
+	}
+	instExpireEv struct {
+		inst string
+		gen  uint64
+	}
+)
+
+// Server is one agreement-service node. Start it with Start; stop it
+// cleanly with Close, or abruptly (simulated kill) with Kill.
+type Server struct {
+	cfg  Config
+	node *netsub.Node
+	cln  net.Listener
+	log  *wal.Log
+
+	ev      chan any
+	done    chan struct{}
+	crashed chan struct{}
+	haltOne sync.Once
+	wg      sync.WaitGroup
+	wwg     sync.WaitGroup // connection writers, drained before conns close
+
+	connMu sync.Mutex
+	conns  map[*clientConn]struct{}
+	halted bool // set under connMu; accepted conns arriving later are refused
+
+	// Loop-owned state: only the event loop touches these.
+	inflight  map[string]*instance
+	proposals map[string]int // first-wins proposal per instance, journaled
+	decided   map[string]int
+	gen       uint64
+	acked     int64
+
+	// recovered is the decision map as replayed from the WAL at Start,
+	// frozen — the durability audit's ground truth.
+	recovered map[string]int
+
+	incarnation int
+
+	statMu sync.Mutex
+	stats  Stats
+
+	hReq      *hist.Histogram
+	hDecide   *hist.Histogram
+	hInflight *hist.Histogram
+}
+
+// Start opens (or creates) the WAL, replays it, joins the mesh as the
+// next incarnation, and begins serving clients.
+func Start(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	log, recs, _, err := wal.Open(cfg.WALDir, wal.Options{Sync: cfg.Sync})
+	if err != nil {
+		return nil, fmt.Errorf("serve: open journal: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		log:       log,
+		ev:        make(chan any, 1024),
+		done:      make(chan struct{}),
+		crashed:   make(chan struct{}),
+		conns:     make(map[*clientConn]struct{}),
+		inflight:  make(map[string]*instance),
+		proposals: make(map[string]int),
+		decided:   make(map[string]int),
+		recovered: make(map[string]int),
+	}
+	boots := 0
+	for _, r := range recs {
+		switch r.Kind {
+		case recBoot:
+			boots++
+		case recProposal:
+			inst, val, err := decodeInstValRecord(r.Payload)
+			if err != nil {
+				log.Close()
+				return nil, fmt.Errorf("serve: journal seq %d: %w", r.Seq, err)
+			}
+			s.proposals[inst] = val
+		case recDecision:
+			inst, val, err := decodeInstValRecord(r.Payload)
+			if err != nil {
+				log.Close()
+				return nil, fmt.Errorf("serve: journal seq %d: %w", r.Seq, err)
+			}
+			s.decided[inst] = val
+			s.recovered[inst] = val
+		}
+	}
+	s.incarnation = boots + 1
+	if _, err := log.Append(recBoot, encodeBoot(s.incarnation)); err != nil {
+		log.Close()
+		return nil, err
+	}
+	s.stats.Incarnation = s.incarnation
+	s.stats.RecoveredDecisions = int64(len(s.recovered))
+	s.stats.RecoveredProposals = int64(len(s.proposals))
+
+	if cfg.Hist != nil {
+		s.hReq = cfg.Hist.Get("serve_request_ns")
+		s.hDecide = cfg.Hist.Get("serve_decide_ns")
+		s.hInflight = cfg.Hist.Get("serve_inflight_depth")
+	}
+
+	mesh := cfg.Mesh
+	mesh.Me, mesh.N, mesh.Addrs = cfg.Me, cfg.N, cfg.MeshAddrs
+	mesh.Listener = cfg.MeshListener
+	mesh.Incarnation = s.incarnation
+	mesh.Seed = cfg.Seed
+	mesh.Observer = cfg.Observer
+	mesh.Hist = cfg.Hist
+	node, err := netsub.Start(mesh)
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("serve: join mesh: %w", err)
+	}
+	s.node = node
+
+	cln := cfg.ClientListener
+	if cln == nil {
+		cln, err = net.Listen("tcp", cfg.ClientAddr)
+		if err != nil {
+			node.Close()
+			log.Close()
+			return nil, fmt.Errorf("serve: bind client listener: %w", err)
+		}
+	}
+	s.cln = cln
+
+	if boots > 0 {
+		s.event("serve.recover", map[string]any{
+			"incarnation": s.incarnation,
+			"decisions":   len(s.recovered),
+			"proposals":   len(s.proposals),
+		})
+	}
+
+	s.wg.Add(3)
+	go s.loop()
+	go s.acceptLoop()
+	go s.recvLoop()
+	return s, nil
+}
+
+// ClientAddr is the address clients dial.
+func (s *Server) ClientAddr() string { return s.cln.Addr().String() }
+
+// MeshAddr is this node's mesh listen address.
+func (s *Server) MeshAddr() string { return s.node.Addr() }
+
+// Incarnation is this boot's WAL-derived incarnation number.
+func (s *Server) Incarnation() int { return s.incarnation }
+
+// Crashed closes when a CrashAfterAcks hook fires. It never closes on
+// Close or Kill.
+func (s *Server) Crashed() <-chan struct{} { return s.crashed }
+
+// RecoveredDecisions returns a copy of the decision map as it was
+// replayed from the WAL at Start, before any new traffic — what this
+// incarnation durably remembers from its predecessors. The chaos
+// campaign audits acknowledged decisions against exactly this.
+func (s *Server) RecoveredDecisions() map[string]int {
+	out := make(map[string]int, len(s.recovered))
+	for k, v := range s.recovered {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.stats
+}
+
+// Mesh exposes the underlying transport node (for its Stats).
+func (s *Server) Mesh() *netsub.Node { return s.node }
+
+// Close shuts the server down cleanly: stops serving, waits for the
+// goroutines, syncs and closes the journal.
+func (s *Server) Close() error {
+	s.halt()
+	s.wg.Wait()
+	s.wwg.Wait()
+	return s.log.Close()
+}
+
+// Kill halts the server abruptly, simulating a process kill: goroutines
+// stop, but the journal is abandoned without a sync or clean close —
+// whatever the configured SyncMode already made durable is all a restart
+// will see.
+func (s *Server) Kill() {
+	s.halt()
+	s.wg.Wait()
+	s.wwg.Wait()
+}
+
+// halt stops serving: closes done, both listeners and the mesh node,
+// waits for connection writers to flush what was already acknowledged
+// (an ack handed to a writer is an ack handed to the kernel — a real
+// SIGKILL would still deliver it), then closes every client connection.
+// Idempotent.
+func (s *Server) halt() {
+	s.haltOne.Do(func() {
+		close(s.done)
+		s.cln.Close()
+		s.node.Close()
+		s.connMu.Lock()
+		s.halted = true
+		conns := make([]*clientConn, 0, len(s.conns))
+		for cc := range s.conns {
+			conns = append(conns, cc)
+		}
+		s.connMu.Unlock()
+		// No new writers can register past this point; wait for the
+		// existing ones to flush, then cut the connections.
+		s.wwg.Wait()
+		for _, cc := range conns {
+			cc.c.Close()
+		}
+	})
+}
+
+// post delivers an event to the loop unless the server is halting.
+func (s *Server) post(e any) {
+	select {
+	case s.ev <- e:
+	case <-s.done:
+	}
+}
+
+// event emits one serve.* observer event.
+func (s *Server) event(kind string, fields map[string]any) {
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.Event(kind, -1, int(s.cfg.Me), fields)
+	}
+}
+
+func (s *Server) bump(f func(*Stats)) {
+	s.statMu.Lock()
+	f(&s.stats)
+	s.statMu.Unlock()
+}
+
+// loop is the single goroutine that owns the instance table. Every
+// mutation — client submits, peer messages, deadline and TTL expiries —
+// arrives as an event, so the table needs no lock and the
+// journal-before-ack ordering is trivially serial.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		select {
+		case <-s.done:
+			return
+		case e := <-s.ev:
+			if s.handle(e) {
+				return // CrashAfterAcks fired: the loop dies mid-stride
+			}
+		}
+	}
+}
+
+// handle dispatches one event; a true return crashes the loop.
+func (s *Server) handle(e any) bool {
+	switch ev := e.(type) {
+	case submitEv:
+		return s.onSubmit(ev)
+	case queryEv:
+		s.onQuery(ev)
+	case peerEv:
+		return s.onPeer(ev)
+	case reqExpireEv:
+		s.onReqExpire(ev)
+	case instExpireEv:
+		s.onInstExpire(ev)
+	}
+	return false
+}
+
+func (s *Server) onSubmit(ev submitEv) bool {
+	s.bump(func(st *Stats) { st.Submits++ })
+	id, req := ev.req.Inst, ev.req.Req
+
+	// Idempotency: a decided instance answers every (re)submission from
+	// the decision table; nothing can decide twice.
+	if val, ok := s.decided[id]; ok {
+		s.bump(func(st *Stats) { st.IdempotentHits++ })
+		s.event("serve.dup", nil)
+		s.respond(ev.cc, ev.start, Response{
+			Req: req, Inst: id, Status: StatusDecided, Val: val, Incarnation: s.incarnation,
+		})
+		return false
+	}
+
+	ins, open := s.inflight[id]
+	if !open {
+		// Admission control: opening one more instance past the bound
+		// sheds the request instead of queueing it.
+		if len(s.inflight) >= s.cfg.MaxInflight {
+			oe := &OverloadError{Inflight: len(s.inflight), Max: s.cfg.MaxInflight}
+			s.bump(func(st *Stats) { st.Overloads++ })
+			s.event("serve.shed", map[string]any{"inflight": oe.Inflight})
+			s.respond(ev.cc, ev.start, Response{
+				Req: req, Inst: id, Status: StatusOverload,
+				Inflight: oe.Inflight, Max: oe.Max, Incarnation: s.incarnation,
+			})
+			return false
+		}
+		ins = s.openInstance(id, ev.req.Val)
+	} else {
+		// A re-submission while in flight re-broadcasts our proposal:
+		// cheap, and it re-seeds peers that restarted mid-instance.
+		s.node.Broadcast(encodePeerMsg(pmPropose, id, ins.proposal))
+	}
+
+	d := s.cfg.RequestTimeout
+	if ev.req.TimeoutMS > 0 {
+		d = time.Duration(ev.req.TimeoutMS) * time.Millisecond
+	}
+	w := &waiter{req: req, cc: ev.cc, start: ev.start}
+	w.timer = time.AfterFunc(d, func() { s.post(reqExpireEv{inst: id, req: req}) })
+	ins.waiters = append(ins.waiters, w)
+
+	return s.maybeDecide(ins)
+}
+
+// openInstance creates the in-flight entry for id, journaling and
+// broadcasting the first-wins proposal. The proposal journal entry is
+// what keeps this node's proposal stable across kill-and-restart: a
+// resubmission after recovery proposes the same value, so the min-of-view
+// decision rule keeps drawing from the same closed set.
+func (s *Server) openInstance(id string, val int) *instance {
+	prop, known := s.proposals[id]
+	if !known {
+		prop = val
+		s.proposals[id] = prop
+		s.log.Append(recProposal, encodeInstVal(id, prop))
+	}
+	s.gen++
+	ins := &instance{
+		id:       id,
+		proposal: prop,
+		got:      map[core.PID]int{s.cfg.Me: prop},
+		start:    time.Now(),
+		gen:      s.gen,
+	}
+	s.inflight[id] = ins
+	if s.hInflight != nil {
+		s.hInflight.Record(int64(len(s.inflight)))
+	}
+	gen := ins.gen
+	time.AfterFunc(s.cfg.InstanceTTL, func() { s.post(instExpireEv{inst: id, gen: gen}) })
+	s.node.Broadcast(encodePeerMsg(pmPropose, id, prop))
+	return ins
+}
+
+func (s *Server) onQuery(ev queryEv) {
+	s.bump(func(st *Stats) { st.Queries++ })
+	if val, ok := s.decided[ev.req.Inst]; ok {
+		s.respond(ev.cc, time.Time{}, Response{
+			Req: ev.req.Req, Inst: ev.req.Inst, Status: StatusDecided, Val: val, Incarnation: s.incarnation,
+		})
+		return
+	}
+	s.respond(ev.cc, time.Time{}, Response{
+		Req: ev.req.Req, Inst: ev.req.Inst, Status: StatusUnknown, Incarnation: s.incarnation,
+	})
+}
+
+func (s *Server) onPeer(ev peerEv) bool {
+	switch ev.kind {
+	case pmPropose:
+		s.bump(func(st *Stats) { st.PeerProposes++ })
+		if val, ok := s.decided[ev.inst]; ok {
+			// Help the straggler (a restarted peer re-proposing an old
+			// instance) straight to the decision.
+			s.node.Send(ev.from, encodePeerMsg(pmDecide, ev.inst, val))
+			return false
+		}
+		ins, open := s.inflight[ev.inst]
+		if !open {
+			if len(s.inflight) >= s.cfg.MaxInflight {
+				// Peer-initiated instances obey the same admission bound;
+				// the origin's deadline degrades the loss into abstain.
+				s.bump(func(st *Stats) { st.PeerSheds++ })
+				s.event("serve.shed", map[string]any{"inflight": len(s.inflight), "peer": true})
+				return false
+			}
+			ins = s.openInstance(ev.inst, ev.val)
+		}
+		if _, seen := ins.got[ev.from]; !seen {
+			ins.got[ev.from] = ev.val
+		} else {
+			// A repeated proposal is a peer that lost our answer (or a
+			// restart): resend ours directly rather than re-flooding.
+			s.node.Send(ev.from, encodePeerMsg(pmPropose, ev.inst, ins.proposal))
+		}
+		return s.maybeDecide(ins)
+	case pmDecide:
+		s.bump(func(st *Stats) { st.PeerDecides++ })
+		if _, ok := s.decided[ev.inst]; ok {
+			return false
+		}
+		// Adopting a peer's decision only merges decision sets — the
+		// adopted value is itself a min over an n−f view, so the
+		// ≤ f+1 distinct-decisions bound is unchanged.
+		s.bump(func(st *Stats) { st.Adopted++ })
+		s.event("serve.adopt", nil)
+		return s.commitDecision(ev.inst, ev.val, false)
+	}
+	return false
+}
+
+func (s *Server) maybeDecide(ins *instance) bool {
+	if len(ins.got) < s.cfg.N-s.cfg.F {
+		return false
+	}
+	min := ins.proposal
+	for _, v := range ins.got {
+		if v < min {
+			min = v
+		}
+	}
+	s.bump(func(st *Stats) { st.Decisions++ })
+	s.event("serve.decide", map[string]any{"gathered": len(ins.got)})
+	if s.hDecide != nil {
+		s.hDecide.Record(time.Since(ins.start).Nanoseconds())
+	}
+	return s.commitDecision(ins.id, min, true)
+}
+
+// commitDecision is where the durability contract lives. The honest
+// order is: journal the decision, then update memory, broadcast, and
+// acknowledge waiters — a crash at any point either loses an instance no
+// client was ever told about, or loses nothing. With
+// AckBeforeJournalBug the acknowledgement happens first, so a crash in
+// the window (which CrashAfterAcks plants deterministically) loses a
+// decision a client already holds — the violation the chaos campaign
+// exists to catch. Returns true when the crash hook fired.
+func (s *Server) commitDecision(id string, val int, local bool) bool {
+	ins := s.inflight[id]
+	if !s.cfg.AckBeforeJournalBug {
+		s.log.Append(recDecision, encodeInstVal(id, val))
+	}
+	s.decided[id] = val
+	delete(s.inflight, id)
+	acked := false
+	if ins != nil {
+		for _, w := range ins.waiters {
+			w.timer.Stop()
+			s.respond(w.cc, w.start, Response{
+				Req: w.req, Inst: id, Status: StatusDecided, Val: val, Incarnation: s.incarnation,
+			})
+			acked = true
+		}
+		ins.waiters = nil
+	}
+	crash := s.noteAck(acked)
+	if s.cfg.AckBeforeJournalBug {
+		if crash {
+			// The planted bug's fatal window: the client holds the ack,
+			// the journal never hears about it.
+			s.crash()
+			return true
+		}
+		s.log.Append(recDecision, encodeInstVal(id, val))
+	}
+	if local {
+		s.node.Broadcast(encodePeerMsg(pmDecide, id, val))
+	}
+	if crash {
+		s.crash()
+		return true
+	}
+	return false
+}
+
+// noteAck counts decisions acknowledged to at least one client and
+// reports whether the CrashAfterAcks hook should fire now.
+func (s *Server) noteAck(acked bool) bool {
+	if !acked {
+		return false
+	}
+	s.acked++
+	s.bump(func(st *Stats) { st.AckedDecisions++ })
+	return s.cfg.CrashAfterAcks > 0 && s.acked == int64(s.cfg.CrashAfterAcks)
+}
+
+// crash is the abrupt internal halt: mark, stop serving, die mid-stride.
+func (s *Server) crash() {
+	close(s.crashed)
+	s.event("serve.crash", map[string]any{"acked": s.acked})
+	s.halt()
+}
+
+func (s *Server) onReqExpire(ev reqExpireEv) {
+	ins, ok := s.inflight[ev.inst]
+	if !ok {
+		return
+	}
+	for i, w := range ins.waiters {
+		if w.req != ev.req {
+			continue
+		}
+		ins.waiters = append(ins.waiters[:i], ins.waiters[i+1:]...)
+		s.bump(func(st *Stats) { st.Abstains++ })
+		// Abstain-and-report: the missing n−f−gathered senders are
+		// exactly the processes D(i,r) would suspect this round.
+		s.event("serve.abstain", map[string]any{"gathered": len(ins.got), "need": s.cfg.N - s.cfg.F})
+		s.respond(w.cc, w.start, Response{
+			Req: w.req, Inst: ev.inst, Status: StatusAbstain,
+			Gathered: len(ins.got), Need: s.cfg.N - s.cfg.F, Incarnation: s.incarnation,
+		})
+		return
+	}
+}
+
+func (s *Server) onInstExpire(ev instExpireEv) {
+	ins, ok := s.inflight[ev.inst]
+	if !ok || ins.gen != ev.gen {
+		return
+	}
+	for _, w := range ins.waiters {
+		w.timer.Stop()
+		s.bump(func(st *Stats) { st.Abstains++ })
+		s.respond(w.cc, w.start, Response{
+			Req: w.req, Inst: ev.inst, Status: StatusAbstain,
+			Gathered: len(ins.got), Need: s.cfg.N - s.cfg.F, Incarnation: s.incarnation,
+		})
+	}
+	ins.waiters = nil
+	delete(s.inflight, ev.inst)
+	s.bump(func(st *Stats) { st.Evictions++ })
+	s.event("serve.evict_instance", map[string]any{"gathered": len(ins.got)})
+}
+
+// respond hands a response to the connection's writer and records the
+// request latency.
+func (s *Server) respond(cc *clientConn, start time.Time, r Response) {
+	if s.hReq != nil && !start.IsZero() {
+		s.hReq.Record(time.Since(start).Nanoseconds())
+	}
+	cc.respond(r)
+}
+
+// recvLoop pumps mesh messages into the event loop.
+func (s *Server) recvLoop() {
+	defer s.wg.Done()
+	for {
+		env, err := s.node.Recv()
+		if err != nil {
+			return
+		}
+		if env.From == s.cfg.Me {
+			continue // Broadcast self-delivers; local state is already updated
+		}
+		b, ok := env.Payload.([]byte)
+		if !ok {
+			continue
+		}
+		kind, inst, val, err := decodePeerMsg(b)
+		if err != nil {
+			s.event("serve.bad_peer_msg", map[string]any{"err": err.Error()})
+			continue
+		}
+		s.post(peerEv{from: env.From, kind: kind, inst: inst, val: val})
+	}
+}
+
+// clientConn is one accepted client connection: a reader goroutine
+// parses requests into events, a writer goroutine drains the bounded
+// response queue. A client that stops reading fills the queue and is
+// disconnected — the client-side mirror of the mesh's backpressure
+// discipline.
+type clientConn struct {
+	c    net.Conn
+	out  chan Response
+	dead chan struct{} // closed by the reader on its way out
+}
+
+func (cc *clientConn) respond(r Response) {
+	select {
+	case cc.out <- r:
+	default:
+		cc.c.Close() // slow client: shed the connection, not the server
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.cln.Accept()
+		if err != nil {
+			return
+		}
+		cc := &clientConn{c: c, out: make(chan Response, 64), dead: make(chan struct{})}
+		s.connMu.Lock()
+		if s.halted {
+			s.connMu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[cc] = struct{}{}
+		s.wg.Add(1)
+		s.wwg.Add(1)
+		s.connMu.Unlock()
+		go s.readConn(cc)
+		go s.writeConn(cc)
+	}
+}
+
+func (s *Server) readConn(cc *clientConn) {
+	defer s.wg.Done()
+	defer func() {
+		close(cc.dead)
+		cc.c.Close()
+		s.connMu.Lock()
+		delete(s.conns, cc)
+		s.connMu.Unlock()
+	}()
+	dec := newLineDecoder(cc.c)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		switch req.Op {
+		case "submit":
+			if req.Inst == "" || req.Req == "" {
+				cc.respond(Response{Status: StatusError, Err: "submit needs inst and req"})
+				continue
+			}
+			s.post(submitEv{req: req, cc: cc, start: time.Now()})
+		case "query":
+			if req.Inst == "" {
+				cc.respond(Response{Status: StatusError, Err: "query needs inst"})
+				continue
+			}
+			s.post(queryEv{req: req, cc: cc})
+		default:
+			cc.respond(Response{Status: StatusError, Err: "unknown op " + req.Op})
+		}
+	}
+}
+
+func (s *Server) writeConn(cc *clientConn) {
+	defer s.wwg.Done()
+	enc := newLineEncoder(cc.c)
+	// drain flushes everything already queued — on shutdown this is what
+	// turns "the loop acknowledged it" into "the client received it".
+	drain := func() {
+		for {
+			select {
+			case r := <-cc.out:
+				cc.c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				if enc.Encode(r) != nil {
+					return
+				}
+			default:
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case <-s.done:
+			drain()
+			return
+		case <-cc.dead:
+			drain()
+			return
+		case r := <-cc.out:
+			cc.c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if enc.Encode(r) != nil {
+				cc.c.Close()
+				return
+			}
+		}
+	}
+}
+
+// ErrClosed reports an operation on a closed client.
+var ErrClosed = errors.New("serve: closed")

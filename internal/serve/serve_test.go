@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+func testCluster(t *testing.T, n, f int, tune func(i int, cfg *Config)) *Cluster {
+	t.Helper()
+	cl, err := StartCluster(ClusterConfig{
+		N: n, F: f, K: f + 1,
+		Dir:            t.TempDir(),
+		Sync:           wal.SyncAlways,
+		RequestTimeout: 2 * time.Second,
+		Seed:           1,
+		Tune:           tune,
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func mustDecide(t *testing.T, c *Client, inst, req string, val int) Response {
+	t.Helper()
+	resp, err := c.Submit(inst, req, val)
+	if err != nil {
+		t.Fatalf("Submit(%s,%s,%d): %v", inst, req, val, err)
+	}
+	if resp.Status != StatusDecided {
+		t.Fatalf("Submit(%s,%s,%d): status %s, want decided (resp %+v)", inst, req, val, resp.Status, resp)
+	}
+	return resp
+}
+
+func TestWireRoundTrips(t *testing.T) {
+	for _, tc := range []struct {
+		kind byte
+		inst string
+		val  int
+	}{
+		{pmPropose, "i0", 0},
+		{pmDecide, "instance-with-a-longer-name", -12345},
+		{pmPropose, "x", 1 << 40},
+	} {
+		b := encodePeerMsg(tc.kind, tc.inst, tc.val)
+		kind, inst, val, err := decodePeerMsg(b)
+		if err != nil {
+			t.Fatalf("decodePeerMsg(%v): %v", tc, err)
+		}
+		if kind != tc.kind || inst != tc.inst || val != tc.val {
+			t.Fatalf("peer round trip: got (%d,%q,%d), want (%d,%q,%d)", kind, inst, val, tc.kind, tc.inst, tc.val)
+		}
+		p := encodeInstVal(tc.inst, tc.val)
+		inst, val, err = decodeInstValRecord(p)
+		if err != nil || inst != tc.inst || val != tc.val {
+			t.Fatalf("journal round trip: got (%q,%d,%v)", inst, val, err)
+		}
+	}
+	for _, bad := range [][]byte{nil, {}, {9, 1, 'x', 0}, {pmPropose}, append(encodePeerMsg(pmDecide, "i", 1), 0)} {
+		if _, _, _, err := decodePeerMsg(bad); err == nil {
+			t.Fatalf("decodePeerMsg(%v) accepted garbage", bad)
+		}
+	}
+	if inc, err := decodeBoot(encodeBoot(7)); err != nil || inc != 7 {
+		t.Fatalf("boot round trip: got (%d,%v)", inc, err)
+	}
+}
+
+func TestSingleNodeDecideAndIdempotentRetry(t *testing.T) {
+	cl := testCluster(t, 1, 0, nil)
+	c := NewClient(ClientConfig{Addr: cl.ClientAddrs()[0], Timeout: 2 * time.Second, Seed: 1})
+	defer c.Close()
+
+	resp := mustDecide(t, c, "job-1", "r1", 42)
+	if resp.Val != 42 {
+		t.Fatalf("decided %d, want 42", resp.Val)
+	}
+	// The same request ID retried must return the same decision, and a
+	// different value under the same instance must not re-decide.
+	for _, val := range []int{42, 7} {
+		again := mustDecide(t, c, "job-1", "r1", val)
+		if again.Val != 42 {
+			t.Fatalf("retry decided %d, want 42", again.Val)
+		}
+	}
+	st := cl.Servers[0].Stats()
+	if st.Decisions != 1 {
+		t.Fatalf("decisions = %d, want exactly 1 despite retries", st.Decisions)
+	}
+	if st.IdempotentHits < 2 {
+		t.Fatalf("idempotent hits = %d, want >= 2", st.IdempotentHits)
+	}
+	q, err := c.Query("job-1")
+	if err != nil || q.Status != StatusDecided || q.Val != 42 {
+		t.Fatalf("query: %+v, %v", q, err)
+	}
+	if q, _ := c.Query("nope"); q.Status != StatusUnknown {
+		t.Fatalf("query unknown instance: %+v", q)
+	}
+}
+
+func TestClusterDecidesWithinKBound(t *testing.T) {
+	const n, f = 3, 1
+	cl := testCluster(t, n, f, nil)
+	vals := map[int]bool{10: true, 20: true, 30: true}
+	decided := map[int]bool{}
+	for i := 0; i < n; i++ {
+		c := NewClient(ClientConfig{Addr: cl.ClientAddrs()[i], Timeout: 2 * time.Second, Seed: int64(i)})
+		resp := mustDecide(t, c, "shared", "cl-"+string(rune('a'+i)), 10*(i+1))
+		if !vals[resp.Val] {
+			t.Fatalf("validity violated: node %d decided %d, not a submitted value", i, resp.Val)
+		}
+		decided[resp.Val] = true
+		c.Close()
+	}
+	if len(decided) > f+1 {
+		t.Fatalf("k-agreement violated: %d distinct decisions > k=%d", len(decided), f+1)
+	}
+}
+
+// TestOverloadDeadlineAndTTL runs one node of a 2-mesh whose peer never
+// starts: no instance can gather the n−f=2 quorum, so the in-flight
+// table fills (overload), deadlines degrade to abstain, and the TTL
+// evicts — the three defense layers in one run.
+func TestOverloadDeadlineAndTTL(t *testing.T) {
+	m := obs.NewMetrics()
+	s, err := Start(Config{
+		Me: 0, N: 2, F: 0,
+		MeshAddrs:      []string{"127.0.0.1:0", "127.0.0.1:1"}, // peer 1 never listens
+		WALDir:         t.TempDir(),
+		MaxInflight:    2,
+		RequestTimeout: 150 * time.Millisecond,
+		InstanceTTL:    time.Second,
+		Seed:           1,
+		Observer:       m,
+		Hist:           m.Hist(),
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Close()
+
+	// The client's 200ms Timeout is forwarded as the server-side request
+	// deadline, so both abstains land well inside the 1s instance TTL.
+	c := NewClient(ClientConfig{Addr: s.ClientAddr(), Timeout: 200 * time.Millisecond, MaxAttempts: 1, Seed: 1})
+	defer c.Close()
+
+	for i, inst := range []string{"a", "b"} {
+		resp, err := c.Submit(inst, "r", i)
+		if err != nil {
+			t.Fatalf("submit %s: %v", inst, err)
+		}
+		if resp.Status != StatusAbstain {
+			t.Fatalf("submit %s: status %s, want abstain", inst, resp.Status)
+		}
+		if resp.Gathered != 1 || resp.Need != 2 {
+			t.Fatalf("abstain report: gathered %d need %d, want 1/2", resp.Gathered, resp.Need)
+		}
+	}
+	// Both instances are still in flight (TTL > deadline): the third is shed.
+	resp, err := c.Submit("c", "r", 3)
+	if err != nil {
+		t.Fatalf("submit c: %v", err)
+	}
+	if resp.Status != StatusOverload || resp.Inflight != 2 || resp.Max != 2 {
+		t.Fatalf("want overload 2/2, got %+v", resp)
+	}
+
+	// After the TTL the table drains and admission reopens.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Evictions < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("TTL never evicted: stats %+v", s.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err = c.Submit("d", "r", 4)
+	if err != nil {
+		t.Fatalf("submit d after TTL: %v", err)
+	}
+	if resp.Status != StatusAbstain {
+		t.Fatalf("submit d after TTL: status %s, want abstain (admission reopened)", resp.Status)
+	}
+
+	st := s.Stats()
+	if st.Overloads != 1 || st.Abstains < 3 {
+		t.Fatalf("stats: %+v, want 1 overload and >= 3 abstains", st)
+	}
+	snap := m.Snapshot()
+	if snap.Events["serve.shed"] == 0 || snap.Events["serve.abstain"] == 0 {
+		t.Fatalf("serve.* events missing: %v", snap.Events)
+	}
+	if snap.Hist["serve_request_ns"].Count == 0 {
+		t.Fatalf("serve_request_ns histogram empty")
+	}
+}
+
+func TestKillRestartKeepsAcknowledgedDecisions(t *testing.T) {
+	cl := testCluster(t, 1, 0, nil)
+	c := NewClient(ClientConfig{Addr: cl.ClientAddrs()[0], Timeout: 2 * time.Second, Seed: 1})
+	defer c.Close()
+
+	acked := map[string]int{}
+	for i, inst := range []string{"a", "b", "c"} {
+		resp := mustDecide(t, c, inst, "r-"+inst, 100+i)
+		acked[inst] = resp.Val
+	}
+	cl.Servers[0].Kill()
+	s, err := cl.Restart(0, nil)
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if s.Incarnation() != 2 {
+		t.Fatalf("incarnation %d after restart, want 2", s.Incarnation())
+	}
+	rec := s.RecoveredDecisions()
+	for inst, val := range acked {
+		got, ok := rec[inst]
+		if !ok {
+			t.Fatalf("acknowledged decision %s lost across kill-and-restart", inst)
+		}
+		if got != val {
+			t.Fatalf("decision %s recovered as %d, want %d", inst, got, val)
+		}
+	}
+	// The restarted incarnation must answer queries and retries from the
+	// journal, and a retried request ID still cannot re-decide.
+	c.dropConn()
+	for inst, val := range acked {
+		if resp := mustDecide(t, c, inst, "r-"+inst, -1); resp.Val != val {
+			t.Fatalf("retry after restart: %s decided %d, want %d", inst, resp.Val, val)
+		}
+	}
+	if st := s.Stats(); st.Decisions != 0 {
+		t.Fatalf("restarted node re-decided %d instances", st.Decisions)
+	}
+}
+
+// TestAckBeforeJournalBugLosesAck pins the planted bug's failure mode at
+// the unit level: with the inversion and a crash hook on the first
+// acknowledged decision, the client holds an ack the restarted journal
+// has never heard of.
+func TestAckBeforeJournalBugLosesAck(t *testing.T) {
+	cl := testCluster(t, 1, 0, func(i int, cfg *Config) {
+		cfg.AckBeforeJournalBug = true
+		cfg.CrashAfterAcks = 1
+	})
+	c := NewClient(ClientConfig{Addr: cl.ClientAddrs()[0], Timeout: 2 * time.Second, Seed: 1})
+	defer c.Close()
+
+	resp := mustDecide(t, c, "doomed", "r1", 9)
+	if resp.Val != 9 {
+		t.Fatalf("decided %d, want 9", resp.Val)
+	}
+	select {
+	case <-cl.Servers[0].Crashed():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("crash hook never fired")
+	}
+	cl.Servers[0].Kill()
+	s, err := cl.Restart(0, nil)
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if _, ok := s.RecoveredDecisions()["doomed"]; ok {
+		t.Fatalf("bug did not lose the acknowledged decision — the campaign would have nothing to catch")
+	}
+}
+
+func TestClientUnreachable(t *testing.T) {
+	c := NewClient(ClientConfig{
+		Addr: "127.0.0.1:1", Timeout: 100 * time.Millisecond,
+		MaxAttempts: 3, RetryUnit: time.Millisecond, Seed: 1,
+	})
+	defer c.Close()
+	_, err := c.Submit("i", "r", 1)
+	var ue *UnreachableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *UnreachableError, got %v", err)
+	}
+	if ue.Attempts != 3 || c.Retries != 2 {
+		t.Fatalf("attempts %d retries %d, want 3 and 2", ue.Attempts, c.Retries)
+	}
+}

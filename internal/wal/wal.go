@@ -57,15 +57,36 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// SyncMode selects the fsync policy for appends.
+// SyncMode selects the fsync policy for appends — the durability half of
+// a journal-before-act contract. The question it answers: when Append
+// returns (and the caller goes on to acknowledge, reply, or act), which
+// failure classes is the record already safe against?
+//
+//	             process crash / kill -9    kernel panic / power loss
+//	SyncNever    safe (page cache)          tail since last Sync LOST
+//	SyncAlways   safe                       safe
+//
+// SyncNever costs one buffered write per append (≈µs); SyncAlways adds a
+// device flush (≈ms on disks, ~100µs on NVMe) to every append. The rule
+// of thumb: anything that externalizes an effect keyed on the record —
+// acknowledging a decision to a client, sending a message another process
+// will act on — needs SyncAlways (or an explicit Sync before the ack);
+// state that is merely expensive to recompute can ride SyncNever.
+// SyncedSeq reports the durability horizon either way.
 type SyncMode int
 
 const (
 	// SyncNever never fsyncs on append; Sync may still be called
-	// explicitly. Survives process crashes, not power loss.
+	// explicitly. An append survives a process crash the moment it
+	// returns (the OS holds the bytes), but a power loss or kernel panic
+	// rolls the log back to the last explicit Sync, rotation, or Close —
+	// the tail since then is legal debris, silently dropped at replay.
+	// Never acknowledge anything on the strength of a SyncNever append.
 	SyncNever SyncMode = iota
 
-	// SyncAlways fsyncs after every append.
+	// SyncAlways fsyncs after every append: when Append returns, the
+	// record is on stable storage and no failure short of media loss can
+	// un-write it — the mode that makes ack-after-Append honest.
 	SyncAlways
 )
 
@@ -75,7 +96,10 @@ type Options struct {
 	// size is closed and a fresh one started. 0 means 1 MiB.
 	SegmentBytes int
 
-	// Sync is the fsync policy for Append.
+	// Sync is the fsync policy for Append; see SyncMode for the
+	// crash-class tradeoff. The zero value is SyncNever — fast, but an
+	// acknowledgement given on the strength of an append is not
+	// power-loss durable until Sync is called.
 	Sync SyncMode
 }
 
@@ -130,6 +154,10 @@ type Log struct {
 	segSize int // bytes written to the open segment
 	nextSeq uint64
 	closed  bool
+
+	// syncedSeq is the durability horizon: the highest sequence number
+	// known to have reached stable storage (see SyncedSeq).
+	syncedSeq uint64
 }
 
 // Create initializes a fresh log in dir, which must be empty (or not yet
@@ -194,6 +222,9 @@ func Open(dir string, opts Options) (*Log, []Record, *ReplayReport, error) {
 		segIdx:  last.index,
 		segSize: int(keep),
 		nextSeq: rep.LastSeq + 1,
+		// What replay saw is what this incarnation can ever recover: the
+		// durability horizon restarts at the replayed prefix.
+		syncedSeq: rep.LastSeq,
 	}
 	if keep < headerSize {
 		// Even the header was torn or garbled: rebuild the segment in place.
@@ -234,6 +265,7 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 		if err := l.f.Sync(); err != nil {
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
+		l.syncedSeq = seq
 	}
 	if l.segSize >= l.opts.segmentBytes() {
 		if err := l.rotate(); err != nil {
@@ -243,13 +275,25 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 	return seq, nil
 }
 
-// Sync flushes the open segment to stable storage.
+// Sync flushes the open segment to stable storage, advancing the
+// durability horizon to the last appended record.
 func (l *Log) Sync() error {
 	if l.closed {
 		return errors.New("wal: sync on closed log")
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.syncedSeq = l.nextSeq - 1
+	return nil
 }
+
+// SyncedSeq returns the durability horizon: the highest sequence number
+// guaranteed to survive power loss. Under SyncAlways it tracks every
+// Append; under SyncNever it advances only on explicit Sync, segment
+// rotation, and Close — the gap up to NextSeq()-1 is exactly the tail a
+// power loss may take back.
+func (l *Log) SyncedSeq() uint64 { return l.syncedSeq }
 
 // Close syncs and closes the log. Further appends fail.
 func (l *Log) Close() error {
@@ -261,6 +305,7 @@ func (l *Log) Close() error {
 		l.f.Close()
 		return err
 	}
+	l.syncedSeq = l.nextSeq - 1
 	return l.f.Close()
 }
 
@@ -279,6 +324,7 @@ func (l *Log) rotate() error {
 		if err := l.f.Close(); err != nil {
 			return err
 		}
+		l.syncedSeq = l.nextSeq - 1
 	}
 	l.segIdx++
 	name := segmentName(l.segIdx)
