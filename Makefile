@@ -6,10 +6,10 @@ GO ?= go
 
 # Engine + agreement + chaos-campaign + TCP-substrate + service
 # benchmarks tracked in BENCH_core.json.
-BENCH_PKGS := ./internal/core ./internal/agreement ./internal/chaos ./internal/netsub ./internal/serve
+BENCH_PKGS := ./internal/core ./internal/agreement ./internal/chaos ./internal/netsub ./internal/serve ./internal/fleet ./internal/wal
 BENCH_PAT  ?= .
 
-.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover telemetry-short net-short serve-short
+.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover telemetry-short net-short serve-short fleet-short
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-ci: vet build race chaos-short recovery-short mc-short mc-cover telemetry-short net-short serve-short
+ci: vet build race chaos-short recovery-short mc-short mc-cover telemetry-short net-short serve-short fleet-short
 
 # Fixed-seed, small-N fault-injection campaigns under the race detector:
 # quick enough for every CI run, loud on any safety violation (the chaos
@@ -102,6 +102,16 @@ serve-short:
 	$(GO) run -race ./cmd/rrfdsim -chaos-serve -n 3 -f 1 -k 2 -seed 7
 	! $(GO) run -race ./cmd/rrfdsim -chaos-serve -n 3 -f 1 -k 2 -seed 7 -bug
 
+# Engine-fleet smoke under the race detector: the fleet package tests
+# (shard × worker determinism grid, repartitioned crash/resume, protocol
+# audit) plus a pooled-connection scale run of the load generator — many
+# virtual clients multiplexed over a bounded connection pool against a
+# sharded local cluster, audits clean.
+fleet-short:
+	$(GO) test -race -count 1 ./internal/fleet/
+	$(GO) run -race ./cmd/rrfdload -local 3 -f 1 -clients 2000 -conns 8 \
+		-requests 1 -instances 256 -seed 7
+
 # The larger sweep: every fault class, more seeds, more runs.
 chaos:
 	$(GO) run ./cmd/rrfdsim -chaos -n 6 -f 2 -k 3 -runs 500 -drop 0.3 -seed 7
@@ -121,6 +131,10 @@ bench:
 # The regression gate: rerun the tracked benchmarks and diff against the
 # committed baseline; fails on >20% ns/op or allocs/op regressions. Refresh
 # the baseline with `make bench` when a perf change is intentional.
+# ServeDecide/throughput carries no allocs_per_op in the baseline (alloc
+# gating skips entries missing it on either side): client retries under
+# CPU contention make its alloc count noisy while ns/op stays stable, so
+# re-drop that field after regenerating the baseline.
 bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchstatjson -compare BENCH_core.json

@@ -19,9 +19,18 @@
 // smoke test. Otherwise -addrs lists the client-facing addresses of an
 // already-running rrfdserve mesh.
 //
+// Scale mode: -conns bounds the real connection pool, multiplexing the
+// -clients simulated clients over that many worker goroutines — the way
+// to point 10⁵ virtual clients at a cluster without 10⁵ TCP
+// connections. Each virtual client's request stream stays deterministic
+// (drawn from -seed exactly as in the unpooled mode); only the carrier
+// changes. Decide latencies additionally feed a mergeable obs/hist
+// histogram, reported as p50/p95/p99.
+//
 // Usage:
 //
 //	rrfdload -local 3 -clients 8 -requests 50
+//	rrfdload -local 3 -clients 100000 -requests 1 -conns 16 -instances 4096
 //	rrfdload -addrs 127.0.0.1:8000,127.0.0.1:8001,127.0.0.1:8002 -f 1 -clients 16
 package main
 
@@ -44,6 +53,7 @@ type config struct {
 	local     int
 	f, k      int
 	clients   int
+	conns     int
 	requests  int
 	instances int
 	seed      int64
@@ -58,6 +68,7 @@ func main() {
 	flag.IntVar(&cfg.f, "f", 1, "fault budget of the target mesh (defaults k to f+1)")
 	flag.IntVar(&cfg.k, "k", 0, "agreement bound audited per instance (0 = f+1)")
 	flag.IntVar(&cfg.clients, "clients", 8, "concurrent simulated clients")
+	flag.IntVar(&cfg.conns, "conns", 0, "bound the real connection pool, multiplexing the simulated clients over it (0 = one per client)")
 	flag.IntVar(&cfg.requests, "requests", 25, "requests per client")
 	flag.IntVar(&cfg.instances, "instances", 16, "instance-ID space the load draws from")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for the load shape and the clients' retry jitter")
@@ -85,6 +96,9 @@ func run(cfg config, w io.Writer) error {
 	}
 	if cfg.clients <= 0 || cfg.requests <= 0 || cfg.instances <= 0 {
 		return fmt.Errorf("-clients, -requests and -instances must be positive")
+	}
+	if cfg.conns < 0 {
+		return fmt.Errorf("-conns must be >= 0")
 	}
 	if cfg.k == 0 {
 		cfg.k = cfg.f + 1
@@ -143,14 +157,29 @@ func run(cfg config, w io.Writer) error {
 		}
 	}
 
+	// Worker pool: one goroutine (with its own connections) per simulated
+	// client, unless -conns bounds the pool — then the virtual clients are
+	// multiplexed over that many carriers. A virtual client's requests
+	// always ride the same worker, so its stream stays ordered.
+	workers := cfg.clients
+	if cfg.conns > 0 && cfg.conns < workers {
+		workers = cfg.conns
+	}
+	perWorker := make([][]int, workers)
+	for si, sp := range specs {
+		w := sp.client % workers
+		perWorker[w] = append(perWorker[w], si)
+	}
+
 	outs := make([]outcome, len(specs))
+	hDecide := rrfd.NewHistogram()
 	var retries int64
 	var retryMu sync.Mutex
 	startAll := time.Now()
 	var wg sync.WaitGroup
-	for ci := 0; ci < cfg.clients; ci++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(ci int) {
+		go func(w int) {
 			defer wg.Done()
 			conns := map[int]*rrfd.ServiceClient{}
 			defer func() {
@@ -158,17 +187,15 @@ func run(cfg config, w io.Writer) error {
 					cc.Close()
 				}
 			}()
-			for si, sp := range specs {
-				if sp.client != ci {
-					continue
-				}
+			for _, si := range perWorker[w] {
+				sp := specs[si]
 				cc := conns[sp.server]
 				if cc == nil {
 					cc = rrfd.NewServiceClient(rrfd.ServiceClientConfig{
 						Addr:        addrs[sp.server],
 						Timeout:     cfg.timeout,
 						MaxAttempts: cfg.attempts,
-						Seed:        cfg.seed + int64(100*ci+sp.server),
+						Seed:        cfg.seed + int64(100*w+sp.server),
 					})
 					conns[sp.server] = cc
 				}
@@ -179,6 +206,9 @@ func run(cfg config, w io.Writer) error {
 					oc.unreachable = true
 				} else {
 					oc.status, oc.val = resp.Status, resp.Val
+					if resp.Status == rrfd.ServiceDecided {
+						hDecide.Record(oc.latency.Nanoseconds())
+					}
 				}
 				outs[si] = oc
 			}
@@ -187,7 +217,7 @@ func run(cfg config, w io.Writer) error {
 				retries += cc.Retries
 			}
 			retryMu.Unlock()
-		}(ci)
+		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(startAll)
@@ -251,10 +281,19 @@ func run(cfg config, w io.Writer) error {
 	fmt.Fprintf(w, "rrfdload: %d requests by %d clients in %v (%.0f req/s, %d retries)\n",
 		len(specs), cfg.clients, elapsed.Round(time.Millisecond),
 		float64(len(specs))/elapsed.Seconds(), retries)
+	if workers < cfg.clients {
+		fmt.Fprintf(w, "scale: %d virtual clients multiplexed over %d connections\n", cfg.clients, workers)
+	}
 	fmt.Fprintf(w, "outcomes: %d decided, %d abstained, %d overloaded, %d unreachable\n",
 		decided, abstained, overloaded, unreachable)
 	fmt.Fprintf(w, "latency: p50 %v, p95 %v, max %v\n",
 		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond), q(1.0).Round(time.Microsecond))
+	if hDecide.Count() > 0 {
+		hq := func(p float64) time.Duration { return time.Duration(hDecide.Quantile(p)) }
+		fmt.Fprintf(w, "decide latency: p50 %v, p95 %v, p99 %v (%d decided)\n",
+			hq(0.50).Round(time.Microsecond), hq(0.95).Round(time.Microsecond),
+			hq(0.99).Round(time.Microsecond), hDecide.Count())
+	}
 	fmt.Fprintf(w, "agreement: %d instances decided, widest %d distinct values (k=%d)\n",
 		len(decidedByInst), distinctMax, cfg.k)
 	for _, v := range violations {

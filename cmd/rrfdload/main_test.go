@@ -42,3 +42,40 @@ func TestLocalLoadSmoke(t *testing.T) {
 		t.Fatalf("request accounting off:\n%s", out)
 	}
 }
+
+// TestScaleModeSmoke is the pooled-carrier shape: many simulated clients
+// multiplexed over a small connection pool against a local cluster, with
+// the audits and the histogram-backed decide-latency quantiles intact.
+// The same shape scales to -clients 100000 -requests 1 from the CLI.
+func TestScaleModeSmoke(t *testing.T) {
+	cfg := config{
+		local: 3, f: 1,
+		clients: 500, conns: 8, requests: 1, instances: 64,
+		seed: 11, timeout: 5 * time.Second, attempts: 8,
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"500 requests by 500 clients",
+		"scale: 500 virtual clients multiplexed over 8 connections",
+		"decide latency: p50",
+		"ok: idempotency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "outcomes: 0 decided") {
+		t.Fatalf("nothing decided under scale load:\n%s", out)
+	}
+}
+
+func TestScaleModeRejectsNegativeConns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(config{local: 2, clients: 4, requests: 1, instances: 4, conns: -1}, &buf); err == nil {
+		t.Fatal("accepted negative -conns")
+	}
+}

@@ -1,0 +1,46 @@
+package rrfd
+
+import (
+	"repro/internal/fleet"
+)
+
+// ---- Sharded multi-instance engine fleet (internal/fleet) ----
+//
+// The fleet runs N independent k-set agreement instances (k = F+1) in
+// flat struct-of-arrays storage, partitioned across shards and par
+// workers, with batched cross-shard routing — one channel handoff per
+// shard pair per round. All randomness (inputs, slow sets, round
+// schedules, suspicion coins) is a stateless hash of the seed, so a
+// fixed-seed fleet is byte-identical at every shard × worker count,
+// including across a mid-run checkpoint resumed on a differently
+// partitioned fleet. See DESIGN §16.
+
+type (
+	// FleetConfig shapes one fleet: instance count, processes and fault
+	// budget per instance, round schedule spread, shards, workers, seed.
+	FleetConfig = fleet.Config
+
+	// FleetResult is one fleet's canonical outcome: every instance's
+	// round count and per-process decided values, with byte and checksum
+	// forms for determinism comparisons, and a Checkpoint form for
+	// crash/resume.
+	FleetResult = fleet.Result
+)
+
+var (
+	// FleetRun builds a fleet and runs every instance to completion (or
+	// to Config.HaltAfterRound, for checkpointing).
+	FleetRun = fleet.Run
+
+	// FleetResume continues a checkpointed fleet — at any shard/worker
+	// count — to the same bytes the uninterrupted run produces.
+	FleetResume = fleet.Resume
+
+	// FleetAudit re-derives the protocol's promises from the seed and
+	// checks a result against them: schedule adherence, validity, and at
+	// most F+1 distinct decisions per instance.
+	FleetAudit = fleet.Audit
+
+	// FleetInput is the deterministic input value hash4(seed, inst, p).
+	FleetInput = fleet.Input
+)

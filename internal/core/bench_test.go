@@ -8,21 +8,49 @@ import (
 	"repro/internal/obs/trace"
 )
 
+// BenchmarkSetOps runs the union/intersect/diff triple through the
+// in-place variants (CopyFrom + UnionInto/IntersectInto/DiffInto) over
+// pre-allocated scratch — the exact shape of the engine loops — and must
+// stay at 0 allocs/op (pinned in BENCH_core.json).
 func BenchmarkSetOps(b *testing.B) {
 	for _, n := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			x := FullSet(n)
 			y := SetOf(n, 0, PID(n/2), PID(n-1))
+			u, v, w := NewSet(n), NewSet(n), NewSet(n)
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				u := x.Union(y)
-				v := x.Intersect(y)
-				w := u.Diff(v)
+				u.CopyFrom(x)
+				u.UnionInto(y)
+				v.CopyFrom(x)
+				v.IntersectInto(y)
+				w.CopyFrom(u)
+				w.DiffInto(v)
 				if w.Count() < 0 {
 					b.Fatal("impossible")
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSetBankSweep prices one fleet-shaped pass over a packed set
+// bank: clear a row, add members, pop a count — per row, allocation-free.
+func BenchmarkSetBankSweep(b *testing.B) {
+	const n, rows = 16, 1024
+	bank := NewSetBank(n, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := i % rows
+		bank.Clear(r)
+		bank.Add(r, 0)
+		bank.Add(r, PID(n/2))
+		bank.Add(r, PID(n-1))
+		if bank.Row(r).Count() != 3 {
+			b.Fatal("impossible")
+		}
 	}
 }
 

@@ -164,6 +164,18 @@ func (s *Set) DiffInto(t Set) {
 	}
 }
 
+// IntersectInto shrinks s in place to s ∩ t: the allocation-free
+// counterpart of s = s.Intersect(t).
+func (s *Set) IntersectInto(t Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
 // UnionEquals reports whether s ∪ t = u without materializing the union.
 // The engine uses it to check the round invariant S(i,r) ∪ D(i,r) = S on
 // its hot path. All three sets must share a universe.

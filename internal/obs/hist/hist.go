@@ -48,7 +48,7 @@ func bucketIndex(v int64) int {
 	if u < 2*subCount {
 		return int(u) // exact buckets 0..31
 	}
-	h := bits.Len64(u)        // 2^(h-1) <= u < 2^h, h >= 6
+	h := bits.Len64(u) // 2^(h-1) <= u < 2^h, h >= 6
 	shift := uint(h - 1 - subBits)
 	sub := (u >> shift) & (subCount - 1)
 	return subCount*(h-subBits) + int(sub)

@@ -33,6 +33,10 @@ type ClusterConfig struct {
 	// Sync is each node's journal fsync policy.
 	Sync wal.SyncMode
 
+	// Shards forwards to each node's Config.Shards (0 means the node
+	// default).
+	Shards int
+
 	// MaxInflight, RequestTimeout and InstanceTTL forward to each
 	// node's Config.
 	MaxInflight    int
@@ -126,6 +130,7 @@ func (cl *Cluster) nodeConfig(i int) Config {
 		ClientAddr:     cl.clientAddrs[i],
 		WALDir:         filepath.Join(cc.Dir, fmt.Sprintf("n%d", i)),
 		Sync:           cc.Sync,
+		Shards:         cc.Shards,
 		MaxInflight:    cc.MaxInflight,
 		RequestTimeout: cc.RequestTimeout,
 		InstanceTTL:    cc.InstanceTTL,

@@ -30,6 +30,19 @@
 //     undecided instance is evicted after a TTL so the table stays
 //     bounded under churn.
 //
+// Throughput comes from sharding: the instance table is split across
+// Config.Shards independent event loops, each owning the instances that
+// hash to it, so concurrent submits for different instances never
+// serialize on one loop. Cross-cutting state is three atomics (global
+// in-flight count for admission, acked-decision count for the crash
+// hook, plus the stat counters) — no server-wide mutex sits on the
+// decide path. The journal is shared through a wal.Group, which
+// coalesces the shards' concurrent appends into one write+fsync per
+// batch while preserving journal-before-ack per record; decide and
+// propose broadcasts funnel through a batcher goroutine that packs
+// whatever accumulated into one pmBatch mesh frame per peer — greedy, so
+// an idle server still sends every message immediately.
+//
 // A request that times out, gets shed, or hits a dead server is safely
 // retried by Client with seeded-jitter backoff and the same request ID:
 // the decision table makes every retry idempotent.
@@ -38,8 +51,10 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -79,9 +94,15 @@ type Config struct {
 	// the chaos campaigns run wal.SyncAlways.
 	Sync wal.SyncMode
 
-	// MaxInflight bounds the undecided-instance table; a submit that
-	// would open an instance beyond it is shed with *OverloadError.
-	// 0 means 1024.
+	// Shards is the number of independent instance-table shards, each
+	// with its own event loop; instances hash to a shard. Sharding never
+	// changes results (an instance's events still serialize on its owning
+	// loop), only concurrency. 0 means 4.
+	Shards int
+
+	// MaxInflight bounds the undecided-instance table across all shards;
+	// a submit that would open an instance beyond it is shed with
+	// *OverloadError. 0 means 1024.
 	MaxInflight int
 
 	// RequestTimeout is the default per-request deadline (a request may
@@ -105,7 +126,8 @@ type Config struct {
 
 	// Observer, when non-nil, receives "serve.*" events; Hist, when
 	// non-nil, receives request/decide latency and table depth
-	// distributions.
+	// distributions, plus journal and broadcast batch sizes
+	// ("serve_wal_batch", "serve_bcast_batch").
 	Observer obs.Observer
 	Hist     *hist.Registry
 
@@ -134,6 +156,9 @@ func (c *Config) fill() error {
 	}
 	if c.WALDir == "" {
 		return fmt.Errorf("serve: WALDir is required")
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
 	}
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 1024
@@ -188,6 +213,16 @@ type Stats struct {
 	Incarnation        int
 }
 
+// counters is the lock-free internal form of Stats: every field is an
+// atomic so no shard loop ever takes a server-wide mutex to count.
+type counters struct {
+	submits, idempotentHits              atomic.Int64
+	decisions, adopted, ackedDecisions   atomic.Int64
+	overloads, abstains, evictions       atomic.Int64
+	peerProposes, peerDecides, peerSheds atomic.Int64
+	queries                              atomic.Int64
+}
+
 // instance is one in-flight agreement instance.
 type instance struct {
 	id       string
@@ -206,7 +241,7 @@ type waiter struct {
 	timer *time.Timer
 }
 
-// event is the closed set of inputs the server loop consumes.
+// event is the closed set of inputs a shard loop consumes.
 type (
 	submitEv struct {
 		req   Request
@@ -233,44 +268,60 @@ type (
 	}
 )
 
+// shardTable is the state one shard loop owns exclusively: the instances
+// that hash to it. No lock — only the owning loop touches it.
+type shardTable struct {
+	inflight  map[string]*instance
+	proposals map[string]int // first-wins proposal per instance, journaled
+	decided   map[string]int
+	gen       uint64
+}
+
+// maxBcastBatch bounds one coalesced broadcast frame.
+const maxBcastBatch = 64
+
 // Server is one agreement-service node. Start it with Start; stop it
 // cleanly with Close, or abruptly (simulated kill) with Kill.
 type Server struct {
-	cfg  Config
-	node *netsub.Node
-	cln  net.Listener
-	log  *wal.Log
+	cfg   Config
+	node  *netsub.Node
+	cln   net.Listener
+	log   *wal.Log
+	group *wal.Group
 
-	ev      chan any
-	done    chan struct{}
-	crashed chan struct{}
-	haltOne sync.Once
-	wg      sync.WaitGroup
-	wwg     sync.WaitGroup // connection writers, drained before conns close
+	ev       []chan any // one event queue per shard loop
+	bcast    chan []byte
+	done     chan struct{}
+	crashed  chan struct{}
+	haltOne  sync.Once
+	crashOne sync.Once
+	wg       sync.WaitGroup
+	wwg      sync.WaitGroup // connection writers, drained before conns close
 
 	connMu sync.Mutex
 	conns  map[*clientConn]struct{}
 	halted bool // set under connMu; accepted conns arriving later are refused
 
-	// Loop-owned state: only the event loop touches these.
-	inflight  map[string]*instance
-	proposals map[string]int // first-wins proposal per instance, journaled
-	decided   map[string]int
-	gen       uint64
-	acked     int64
+	// Shard-loop-owned state: sh[i] is touched only by loop i.
+	sh []shardTable
+
+	// Cross-shard state, all atomic — nothing on the decide path takes a
+	// server-wide lock.
+	inflightN atomic.Int64 // global admission counter
+	acked     atomic.Int64 // decisions acked to ≥1 client (crash hook)
+	ctr       counters
 
 	// recovered is the decision map as replayed from the WAL at Start,
 	// frozen — the durability audit's ground truth.
 	recovered map[string]int
 
-	incarnation int
-
-	statMu sync.Mutex
-	stats  Stats
+	recoveredProposals int64
+	incarnation        int
 
 	hReq      *hist.Histogram
 	hDecide   *hist.Histogram
 	hInflight *hist.Histogram
+	hBcast    *hist.Histogram
 }
 
 // Start opens (or creates) the WAL, replays it, joins the mesh as the
@@ -286,14 +337,21 @@ func Start(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		log:       log,
-		ev:        make(chan any, 1024),
+		ev:        make([]chan any, cfg.Shards),
+		bcast:     make(chan []byte, 1024),
 		done:      make(chan struct{}),
 		crashed:   make(chan struct{}),
 		conns:     make(map[*clientConn]struct{}),
-		inflight:  make(map[string]*instance),
-		proposals: make(map[string]int),
-		decided:   make(map[string]int),
+		sh:        make([]shardTable, cfg.Shards),
 		recovered: make(map[string]int),
+	}
+	for i := range s.sh {
+		s.ev[i] = make(chan any, 1024)
+		s.sh[i] = shardTable{
+			inflight:  make(map[string]*instance),
+			proposals: make(map[string]int),
+			decided:   make(map[string]int),
+		}
 	}
 	boots := 0
 	for _, r := range recs {
@@ -306,14 +364,15 @@ func Start(cfg Config) (*Server, error) {
 				log.Close()
 				return nil, fmt.Errorf("serve: journal seq %d: %w", r.Seq, err)
 			}
-			s.proposals[inst] = val
+			s.sh[s.shardOf(inst)].proposals[inst] = val
+			s.recoveredProposals++
 		case recDecision:
 			inst, val, err := decodeInstValRecord(r.Payload)
 			if err != nil {
 				log.Close()
 				return nil, fmt.Errorf("serve: journal seq %d: %w", r.Seq, err)
 			}
-			s.decided[inst] = val
+			s.sh[s.shardOf(inst)].decided[inst] = val
 			s.recovered[inst] = val
 		}
 	}
@@ -322,15 +381,18 @@ func Start(cfg Config) (*Server, error) {
 		log.Close()
 		return nil, err
 	}
-	s.stats.Incarnation = s.incarnation
-	s.stats.RecoveredDecisions = int64(len(s.recovered))
-	s.stats.RecoveredProposals = int64(len(s.proposals))
 
+	var walBatchHist *hist.Histogram
 	if cfg.Hist != nil {
 		s.hReq = cfg.Hist.Get("serve_request_ns")
 		s.hDecide = cfg.Hist.Get("serve_decide_ns")
 		s.hInflight = cfg.Hist.Get("serve_inflight_depth")
+		s.hBcast = cfg.Hist.Get("serve_bcast_batch")
+		walBatchHist = cfg.Hist.Get("serve_wal_batch")
 	}
+	// From here on the group committer is the journal's single writer:
+	// every shard loop appends through it, one fsync per batch.
+	s.group = wal.NewGroup(log, wal.GroupOptions{BatchHist: walBatchHist})
 
 	mesh := cfg.Mesh
 	mesh.Me, mesh.N, mesh.Addrs = cfg.Me, cfg.N, cfg.MeshAddrs
@@ -341,6 +403,7 @@ func Start(cfg Config) (*Server, error) {
 	mesh.Hist = cfg.Hist
 	node, err := netsub.Start(mesh)
 	if err != nil {
+		s.group.Close()
 		log.Close()
 		return nil, fmt.Errorf("serve: join mesh: %w", err)
 	}
@@ -351,6 +414,7 @@ func Start(cfg Config) (*Server, error) {
 		cln, err = net.Listen("tcp", cfg.ClientAddr)
 		if err != nil {
 			node.Close()
+			s.group.Close()
 			log.Close()
 			return nil, fmt.Errorf("serve: bind client listener: %w", err)
 		}
@@ -361,15 +425,25 @@ func Start(cfg Config) (*Server, error) {
 		s.event("serve.recover", map[string]any{
 			"incarnation": s.incarnation,
 			"decisions":   len(s.recovered),
-			"proposals":   len(s.proposals),
+			"proposals":   s.recoveredProposals,
 		})
 	}
 
-	s.wg.Add(3)
-	go s.loop()
+	s.wg.Add(cfg.Shards + 3)
+	for i := 0; i < cfg.Shards; i++ {
+		go s.loop(i)
+	}
 	go s.acceptLoop()
 	go s.recvLoop()
+	go s.batchLoop()
 	return s, nil
+}
+
+// shardOf maps an instance id to its owning shard loop.
+func (s *Server) shardOf(inst string) int {
+	h := fnv.New32a()
+	h.Write([]byte(inst))
+	return int(h.Sum32() % uint32(s.cfg.Shards))
 }
 
 // ClientAddr is the address clients dial.
@@ -399,20 +473,38 @@ func (s *Server) RecoveredDecisions() map[string]int {
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
-	s.statMu.Lock()
-	defer s.statMu.Unlock()
-	return s.stats
+	return Stats{
+		Submits:            s.ctr.submits.Load(),
+		IdempotentHits:     s.ctr.idempotentHits.Load(),
+		Decisions:          s.ctr.decisions.Load(),
+		Adopted:            s.ctr.adopted.Load(),
+		AckedDecisions:     s.ctr.ackedDecisions.Load(),
+		Overloads:          s.ctr.overloads.Load(),
+		Abstains:           s.ctr.abstains.Load(),
+		Evictions:          s.ctr.evictions.Load(),
+		PeerProposes:       s.ctr.peerProposes.Load(),
+		PeerDecides:        s.ctr.peerDecides.Load(),
+		PeerSheds:          s.ctr.peerSheds.Load(),
+		Queries:            s.ctr.queries.Load(),
+		RecoveredDecisions: int64(len(s.recovered)),
+		RecoveredProposals: s.recoveredProposals,
+		Incarnation:        s.incarnation,
+	}
 }
+
+// JournalStats exposes the group committer's coalescing counters.
+func (s *Server) JournalStats() wal.GroupStats { return s.group.Stats() }
 
 // Mesh exposes the underlying transport node (for its Stats).
 func (s *Server) Mesh() *netsub.Node { return s.node }
 
 // Close shuts the server down cleanly: stops serving, waits for the
-// goroutines, syncs and closes the journal.
+// goroutines, drains the journal committer, syncs and closes the journal.
 func (s *Server) Close() error {
 	s.halt()
 	s.wg.Wait()
 	s.wwg.Wait()
+	s.group.Close()
 	return s.log.Close()
 }
 
@@ -424,6 +516,7 @@ func (s *Server) Kill() {
 	s.halt()
 	s.wg.Wait()
 	s.wwg.Wait()
+	s.group.Close()
 }
 
 // halt stops serving: closes done, both listeners and the mesh node,
@@ -452,10 +545,20 @@ func (s *Server) halt() {
 	})
 }
 
-// post delivers an event to the loop unless the server is halting.
-func (s *Server) post(e any) {
+// post delivers an event to the instance's shard loop unless the server
+// is halting.
+func (s *Server) post(shard int, e any) {
 	select {
-	case s.ev <- e:
+	case s.ev[shard] <- e:
+	case <-s.done:
+	}
+}
+
+// broadcast hands a peer message to the batcher, which packs it with
+// whatever else is in flight into one mesh frame per peer.
+func (s *Server) broadcast(payload []byte) {
+	select {
+	case s.bcast <- payload:
 	case <-s.done:
 	}
 }
@@ -467,18 +570,12 @@ func (s *Server) event(kind string, fields map[string]any) {
 	}
 }
 
-func (s *Server) bump(f func(*Stats)) {
-	s.statMu.Lock()
-	f(&s.stats)
-	s.statMu.Unlock()
-}
-
-// loop is the single goroutine that owns the instance table. Every
-// mutation — client submits, peer messages, deadline and TTL expiries —
-// arrives as an event, so the table needs no lock and the
-// journal-before-ack ordering is trivially serial.
-func (s *Server) loop() {
+// loop is one shard's event loop: it exclusively owns the instances that
+// hash to shard i, so the table needs no lock and journal-before-ack
+// stays serial per instance.
+func (s *Server) loop(i int) {
 	defer s.wg.Done()
+	t := &s.sh[i]
 	for {
 		select {
 		case <-s.done:
@@ -488,8 +585,8 @@ func (s *Server) loop() {
 		select {
 		case <-s.done:
 			return
-		case e := <-s.ev:
-			if s.handle(e) {
+		case e := <-s.ev[i]:
+			if s.handle(i, t, e) {
 				return // CrashAfterAcks fired: the loop dies mid-stride
 			}
 		}
@@ -497,30 +594,30 @@ func (s *Server) loop() {
 }
 
 // handle dispatches one event; a true return crashes the loop.
-func (s *Server) handle(e any) bool {
+func (s *Server) handle(shard int, t *shardTable, e any) bool {
 	switch ev := e.(type) {
 	case submitEv:
-		return s.onSubmit(ev)
+		return s.onSubmit(shard, t, ev)
 	case queryEv:
-		s.onQuery(ev)
+		s.onQuery(t, ev)
 	case peerEv:
-		return s.onPeer(ev)
+		return s.onPeer(shard, t, ev)
 	case reqExpireEv:
-		s.onReqExpire(ev)
+		s.onReqExpire(t, ev)
 	case instExpireEv:
-		s.onInstExpire(ev)
+		s.onInstExpire(t, ev)
 	}
 	return false
 }
 
-func (s *Server) onSubmit(ev submitEv) bool {
-	s.bump(func(st *Stats) { st.Submits++ })
+func (s *Server) onSubmit(shard int, t *shardTable, ev submitEv) bool {
+	s.ctr.submits.Add(1)
 	id, req := ev.req.Inst, ev.req.Req
 
 	// Idempotency: a decided instance answers every (re)submission from
 	// the decision table; nothing can decide twice.
-	if val, ok := s.decided[id]; ok {
-		s.bump(func(st *Stats) { st.IdempotentHits++ })
+	if val, ok := t.decided[id]; ok {
+		s.ctr.idempotentHits.Add(1)
 		s.event("serve.dup", nil)
 		s.respond(ev.cc, ev.start, Response{
 			Req: req, Inst: id, Status: StatusDecided, Val: val, Incarnation: s.incarnation,
@@ -528,13 +625,13 @@ func (s *Server) onSubmit(ev submitEv) bool {
 		return false
 	}
 
-	ins, open := s.inflight[id]
+	ins, open := t.inflight[id]
 	if !open {
-		// Admission control: opening one more instance past the bound
-		// sheds the request instead of queueing it.
-		if len(s.inflight) >= s.cfg.MaxInflight {
-			oe := &OverloadError{Inflight: len(s.inflight), Max: s.cfg.MaxInflight}
-			s.bump(func(st *Stats) { st.Overloads++ })
+		// Admission control: opening one more instance past the global
+		// bound sheds the request instead of queueing it.
+		if n := s.inflightN.Load(); n >= int64(s.cfg.MaxInflight) {
+			oe := &OverloadError{Inflight: int(n), Max: s.cfg.MaxInflight}
+			s.ctr.overloads.Add(1)
 			s.event("serve.shed", map[string]any{"inflight": oe.Inflight})
 			s.respond(ev.cc, ev.start, Response{
 				Req: req, Inst: id, Status: StatusOverload,
@@ -542,11 +639,11 @@ func (s *Server) onSubmit(ev submitEv) bool {
 			})
 			return false
 		}
-		ins = s.openInstance(id, ev.req.Val)
+		ins = s.openInstance(shard, t, id, ev.req.Val)
 	} else {
 		// A re-submission while in flight re-broadcasts our proposal:
 		// cheap, and it re-seeds peers that restarted mid-instance.
-		s.node.Broadcast(encodePeerMsg(pmPropose, id, ins.proposal))
+		s.broadcast(encodePeerMsg(pmPropose, id, ins.proposal))
 	}
 
 	d := s.cfg.RequestTimeout
@@ -554,10 +651,10 @@ func (s *Server) onSubmit(ev submitEv) bool {
 		d = time.Duration(ev.req.TimeoutMS) * time.Millisecond
 	}
 	w := &waiter{req: req, cc: ev.cc, start: ev.start}
-	w.timer = time.AfterFunc(d, func() { s.post(reqExpireEv{inst: id, req: req}) })
+	w.timer = time.AfterFunc(d, func() { s.post(shard, reqExpireEv{inst: id, req: req}) })
 	ins.waiters = append(ins.waiters, w)
 
-	return s.maybeDecide(ins)
+	return s.maybeDecide(t, ins)
 }
 
 // openInstance creates the in-flight entry for id, journaling and
@@ -565,34 +662,34 @@ func (s *Server) onSubmit(ev submitEv) bool {
 // what keeps this node's proposal stable across kill-and-restart: a
 // resubmission after recovery proposes the same value, so the min-of-view
 // decision rule keeps drawing from the same closed set.
-func (s *Server) openInstance(id string, val int) *instance {
-	prop, known := s.proposals[id]
+func (s *Server) openInstance(shard int, t *shardTable, id string, val int) *instance {
+	prop, known := t.proposals[id]
 	if !known {
 		prop = val
-		s.proposals[id] = prop
-		s.log.Append(recProposal, encodeInstVal(id, prop))
+		t.proposals[id] = prop
+		s.journal(recProposal, encodeInstVal(id, prop))
 	}
-	s.gen++
+	t.gen++
 	ins := &instance{
 		id:       id,
 		proposal: prop,
 		got:      map[core.PID]int{s.cfg.Me: prop},
 		start:    time.Now(),
-		gen:      s.gen,
+		gen:      t.gen,
 	}
-	s.inflight[id] = ins
-	if s.hInflight != nil {
-		s.hInflight.Record(int64(len(s.inflight)))
+	t.inflight[id] = ins
+	if n := s.inflightN.Add(1); s.hInflight != nil {
+		s.hInflight.Record(n)
 	}
 	gen := ins.gen
-	time.AfterFunc(s.cfg.InstanceTTL, func() { s.post(instExpireEv{inst: id, gen: gen}) })
-	s.node.Broadcast(encodePeerMsg(pmPropose, id, prop))
+	time.AfterFunc(s.cfg.InstanceTTL, func() { s.post(shard, instExpireEv{inst: id, gen: gen}) })
+	s.broadcast(encodePeerMsg(pmPropose, id, prop))
 	return ins
 }
 
-func (s *Server) onQuery(ev queryEv) {
-	s.bump(func(st *Stats) { st.Queries++ })
-	if val, ok := s.decided[ev.req.Inst]; ok {
+func (s *Server) onQuery(t *shardTable, ev queryEv) {
+	s.ctr.queries.Add(1)
+	if val, ok := t.decided[ev.req.Inst]; ok {
 		s.respond(ev.cc, time.Time{}, Response{
 			Req: ev.req.Req, Inst: ev.req.Inst, Status: StatusDecided, Val: val, Incarnation: s.incarnation,
 		})
@@ -603,26 +700,26 @@ func (s *Server) onQuery(ev queryEv) {
 	})
 }
 
-func (s *Server) onPeer(ev peerEv) bool {
+func (s *Server) onPeer(shard int, t *shardTable, ev peerEv) bool {
 	switch ev.kind {
 	case pmPropose:
-		s.bump(func(st *Stats) { st.PeerProposes++ })
-		if val, ok := s.decided[ev.inst]; ok {
+		s.ctr.peerProposes.Add(1)
+		if val, ok := t.decided[ev.inst]; ok {
 			// Help the straggler (a restarted peer re-proposing an old
 			// instance) straight to the decision.
 			s.node.Send(ev.from, encodePeerMsg(pmDecide, ev.inst, val))
 			return false
 		}
-		ins, open := s.inflight[ev.inst]
+		ins, open := t.inflight[ev.inst]
 		if !open {
-			if len(s.inflight) >= s.cfg.MaxInflight {
+			if s.inflightN.Load() >= int64(s.cfg.MaxInflight) {
 				// Peer-initiated instances obey the same admission bound;
 				// the origin's deadline degrades the loss into abstain.
-				s.bump(func(st *Stats) { st.PeerSheds++ })
-				s.event("serve.shed", map[string]any{"inflight": len(s.inflight), "peer": true})
+				s.ctr.peerSheds.Add(1)
+				s.event("serve.shed", map[string]any{"inflight": int(s.inflightN.Load()), "peer": true})
 				return false
 			}
-			ins = s.openInstance(ev.inst, ev.val)
+			ins = s.openInstance(shard, t, ev.inst, ev.val)
 		}
 		if _, seen := ins.got[ev.from]; !seen {
 			ins.got[ev.from] = ev.val
@@ -631,23 +728,23 @@ func (s *Server) onPeer(ev peerEv) bool {
 			// restart): resend ours directly rather than re-flooding.
 			s.node.Send(ev.from, encodePeerMsg(pmPropose, ev.inst, ins.proposal))
 		}
-		return s.maybeDecide(ins)
+		return s.maybeDecide(t, ins)
 	case pmDecide:
-		s.bump(func(st *Stats) { st.PeerDecides++ })
-		if _, ok := s.decided[ev.inst]; ok {
+		s.ctr.peerDecides.Add(1)
+		if _, ok := t.decided[ev.inst]; ok {
 			return false
 		}
 		// Adopting a peer's decision only merges decision sets — the
 		// adopted value is itself a min over an n−f view, so the
 		// ≤ f+1 distinct-decisions bound is unchanged.
-		s.bump(func(st *Stats) { st.Adopted++ })
+		s.ctr.adopted.Add(1)
 		s.event("serve.adopt", nil)
-		return s.commitDecision(ev.inst, ev.val, false)
+		return s.commitDecision(t, ev.inst, ev.val, false)
 	}
 	return false
 }
 
-func (s *Server) maybeDecide(ins *instance) bool {
+func (s *Server) maybeDecide(t *shardTable, ins *instance) bool {
 	if len(ins.got) < s.cfg.N-s.cfg.F {
 		return false
 	}
@@ -657,29 +754,37 @@ func (s *Server) maybeDecide(ins *instance) bool {
 			min = v
 		}
 	}
-	s.bump(func(st *Stats) { st.Decisions++ })
+	s.ctr.decisions.Add(1)
 	s.event("serve.decide", map[string]any{"gathered": len(ins.got)})
 	if s.hDecide != nil {
 		s.hDecide.Record(time.Since(ins.start).Nanoseconds())
 	}
-	return s.commitDecision(ins.id, min, true)
+	return s.commitDecision(t, ins.id, min, true)
 }
 
 // commitDecision is where the durability contract lives. The honest
-// order is: journal the decision, then update memory, broadcast, and
-// acknowledge waiters — a crash at any point either loses an instance no
-// client was ever told about, or loses nothing. With
-// AckBeforeJournalBug the acknowledgement happens first, so a crash in
-// the window (which CrashAfterAcks plants deterministically) loses a
+// order is: journal the decision (through the group committer — the
+// append returns only once the record is durable per the SyncMode), then
+// update memory, broadcast, and acknowledge waiters — a crash at any
+// point either loses an instance no client was ever told about, or loses
+// nothing. If the journal refuses the append (the server is halting),
+// the ack is skipped too: journal-before-ack survives shutdown races.
+// With AckBeforeJournalBug the acknowledgement happens first, so a crash
+// in the window (which CrashAfterAcks plants deterministically) loses a
 // decision a client already holds — the violation the chaos campaign
 // exists to catch. Returns true when the crash hook fired.
-func (s *Server) commitDecision(id string, val int, local bool) bool {
-	ins := s.inflight[id]
+func (s *Server) commitDecision(t *shardTable, id string, val int, local bool) bool {
+	ins := t.inflight[id]
 	if !s.cfg.AckBeforeJournalBug {
-		s.log.Append(recDecision, encodeInstVal(id, val))
+		if s.journal(recDecision, encodeInstVal(id, val)) != nil {
+			return false // halting: never acknowledge what wasn't journaled
+		}
 	}
-	s.decided[id] = val
-	delete(s.inflight, id)
+	t.decided[id] = val
+	if _, ok := t.inflight[id]; ok {
+		delete(t.inflight, id)
+		s.inflightN.Add(-1)
+	}
 	acked := false
 	if ins != nil {
 		for _, w := range ins.waiters {
@@ -699,10 +804,10 @@ func (s *Server) commitDecision(id string, val int, local bool) bool {
 			s.crash()
 			return true
 		}
-		s.log.Append(recDecision, encodeInstVal(id, val))
+		s.journal(recDecision, encodeInstVal(id, val))
 	}
 	if local {
-		s.node.Broadcast(encodePeerMsg(pmDecide, id, val))
+		s.broadcast(encodePeerMsg(pmDecide, id, val))
 	}
 	if crash {
 		s.crash()
@@ -711,26 +816,35 @@ func (s *Server) commitDecision(id string, val int, local bool) bool {
 	return false
 }
 
+// journal appends one record through the group committer, blocking until
+// it is durable per the configured SyncMode. An error means the journal
+// is closing — the caller must not externalize anything based on the
+// record.
+func (s *Server) journal(kind uint8, payload []byte) error {
+	_, err := s.group.Append(kind, payload)
+	return err
+}
+
 // noteAck counts decisions acknowledged to at least one client and
 // reports whether the CrashAfterAcks hook should fire now.
 func (s *Server) noteAck(acked bool) bool {
 	if !acked {
 		return false
 	}
-	s.acked++
-	s.bump(func(st *Stats) { st.AckedDecisions++ })
-	return s.cfg.CrashAfterAcks > 0 && s.acked == int64(s.cfg.CrashAfterAcks)
+	n := s.acked.Add(1)
+	s.ctr.ackedDecisions.Add(1)
+	return s.cfg.CrashAfterAcks > 0 && n == int64(s.cfg.CrashAfterAcks)
 }
 
 // crash is the abrupt internal halt: mark, stop serving, die mid-stride.
 func (s *Server) crash() {
-	close(s.crashed)
-	s.event("serve.crash", map[string]any{"acked": s.acked})
+	s.crashOne.Do(func() { close(s.crashed) })
+	s.event("serve.crash", map[string]any{"acked": s.acked.Load()})
 	s.halt()
 }
 
-func (s *Server) onReqExpire(ev reqExpireEv) {
-	ins, ok := s.inflight[ev.inst]
+func (s *Server) onReqExpire(t *shardTable, ev reqExpireEv) {
+	ins, ok := t.inflight[ev.inst]
 	if !ok {
 		return
 	}
@@ -739,7 +853,7 @@ func (s *Server) onReqExpire(ev reqExpireEv) {
 			continue
 		}
 		ins.waiters = append(ins.waiters[:i], ins.waiters[i+1:]...)
-		s.bump(func(st *Stats) { st.Abstains++ })
+		s.ctr.abstains.Add(1)
 		// Abstain-and-report: the missing n−f−gathered senders are
 		// exactly the processes D(i,r) would suspect this round.
 		s.event("serve.abstain", map[string]any{"gathered": len(ins.got), "need": s.cfg.N - s.cfg.F})
@@ -751,22 +865,23 @@ func (s *Server) onReqExpire(ev reqExpireEv) {
 	}
 }
 
-func (s *Server) onInstExpire(ev instExpireEv) {
-	ins, ok := s.inflight[ev.inst]
+func (s *Server) onInstExpire(t *shardTable, ev instExpireEv) {
+	ins, ok := t.inflight[ev.inst]
 	if !ok || ins.gen != ev.gen {
 		return
 	}
 	for _, w := range ins.waiters {
 		w.timer.Stop()
-		s.bump(func(st *Stats) { st.Abstains++ })
+		s.ctr.abstains.Add(1)
 		s.respond(w.cc, w.start, Response{
 			Req: w.req, Inst: ev.inst, Status: StatusAbstain,
 			Gathered: len(ins.got), Need: s.cfg.N - s.cfg.F, Incarnation: s.incarnation,
 		})
 	}
 	ins.waiters = nil
-	delete(s.inflight, ev.inst)
-	s.bump(func(st *Stats) { st.Evictions++ })
+	delete(t.inflight, ev.inst)
+	s.inflightN.Add(-1)
+	s.ctr.evictions.Add(1)
 	s.event("serve.evict_instance", map[string]any{"gathered": len(ins.got)})
 }
 
@@ -779,7 +894,43 @@ func (s *Server) respond(cc *clientConn, start time.Time, r Response) {
 	cc.respond(r)
 }
 
-// recvLoop pumps mesh messages into the event loop.
+// batchLoop coalesces outbound broadcasts: whatever peer messages the
+// shard loops queued while the previous Broadcast was in flight are
+// packed into one pmBatch frame — one mesh send per peer per batch. The
+// drain is greedy, so at low load every message still departs alone and
+// immediately; under load the batch size self-tunes to the backlog.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	msgs := make([][]byte, 0, maxBcastBatch)
+	for {
+		select {
+		case <-s.done:
+			return
+		case m := <-s.bcast:
+			msgs = append(msgs[:0], m)
+		drain:
+			for len(msgs) < maxBcastBatch {
+				select {
+				case m2 := <-s.bcast:
+					msgs = append(msgs, m2)
+				default:
+					break drain
+				}
+			}
+			if s.hBcast != nil {
+				s.hBcast.Record(int64(len(msgs)))
+			}
+			if len(msgs) == 1 {
+				s.node.Broadcast(msgs[0])
+			} else {
+				s.node.Broadcast(encodePeerBatch(msgs))
+			}
+		}
+	}
+}
+
+// recvLoop pumps mesh messages into the shard loops, unpacking batch
+// frames into their constituent messages.
 func (s *Server) recvLoop() {
 	defer s.wg.Done()
 	for {
@@ -794,13 +945,27 @@ func (s *Server) recvLoop() {
 		if !ok {
 			continue
 		}
-		kind, inst, val, err := decodePeerMsg(b)
-		if err != nil {
-			s.event("serve.bad_peer_msg", map[string]any{"err": err.Error()})
+		if len(b) > 0 && b[0] == pmBatch {
+			if err := decodePeerBatch(b, func(m []byte) {
+				s.handlePeerMsg(env.From, m)
+			}); err != nil {
+				s.event("serve.bad_peer_msg", map[string]any{"err": err.Error()})
+			}
 			continue
 		}
-		s.post(peerEv{from: env.From, kind: kind, inst: inst, val: val})
+		s.handlePeerMsg(env.From, b)
 	}
+}
+
+// handlePeerMsg decodes one peer message and posts it to the owning
+// shard loop.
+func (s *Server) handlePeerMsg(from core.PID, b []byte) {
+	kind, inst, val, err := decodePeerMsg(b)
+	if err != nil {
+		s.event("serve.bad_peer_msg", map[string]any{"err": err.Error()})
+		return
+	}
+	s.post(s.shardOf(inst), peerEv{from: from, kind: kind, inst: inst, val: val})
 }
 
 // clientConn is one accepted client connection: a reader goroutine
@@ -866,13 +1031,13 @@ func (s *Server) readConn(cc *clientConn) {
 				cc.respond(Response{Status: StatusError, Err: "submit needs inst and req"})
 				continue
 			}
-			s.post(submitEv{req: req, cc: cc, start: time.Now()})
+			s.post(s.shardOf(req.Inst), submitEv{req: req, cc: cc, start: time.Now()})
 		case "query":
 			if req.Inst == "" {
 				cc.respond(Response{Status: StatusError, Err: "query needs inst"})
 				continue
 			}
-			s.post(queryEv{req: req, cc: cc})
+			s.post(s.shardOf(req.Inst), queryEv{req: req, cc: cc})
 		default:
 			cc.respond(Response{Status: StatusError, Err: "unknown op " + req.Op})
 		}

@@ -26,7 +26,56 @@ import (
 const (
 	pmPropose byte = 1 // "my proposal for instance X is v"
 	pmDecide  byte = 2 // "I decided v for instance X"
+	pmBatch   byte = 3 // coalesced frame: uvarint count, then length-prefixed messages
 )
+
+// maxBatchMsgs bounds one pmBatch frame on the decode side; a frame
+// claiming more is a protocol error rather than an allocation.
+const maxBatchMsgs = 4096
+
+// encodePeerBatch packs several peer messages into one pmBatch frame:
+// one mesh send (one length-prefixed TCP write per peer) carries the
+// whole backlog the broadcast batcher drained.
+func encodePeerBatch(msgs [][]byte) []byte {
+	sz := 1 + binary.MaxVarintLen64
+	for _, m := range msgs {
+		sz += binary.MaxVarintLen64 + len(m)
+	}
+	b := make([]byte, 0, sz)
+	b = append(b, pmBatch)
+	b = binary.AppendUvarint(b, uint64(len(msgs)))
+	for _, m := range msgs {
+		b = binary.AppendUvarint(b, uint64(len(m)))
+		b = append(b, m...)
+	}
+	return b
+}
+
+// decodePeerBatch unpacks a pmBatch frame, calling fn once per inner
+// message (aliasing into b — fn must not retain past the call).
+func decodePeerBatch(b []byte, fn func(msg []byte)) error {
+	if len(b) < 1 || b[0] != pmBatch {
+		return fmt.Errorf("serve: not a batch frame")
+	}
+	b = b[1:]
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 || cnt > maxBatchMsgs {
+		return fmt.Errorf("serve: bad batch count")
+	}
+	b = b[n:]
+	for i := uint64(0); i < cnt; i++ {
+		ln, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < ln {
+			return fmt.Errorf("serve: truncated batch message %d", i)
+		}
+		fn(b[n : n+int(ln)])
+		b = b[n+int(ln):]
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("serve: %d trailing bytes in batch frame", len(b))
+	}
+	return nil
+}
 
 // WAL record kinds. A server's journal is a sequence of these; replaying
 // them rebuilds the proposal and decision maps and counts incarnations.

@@ -158,6 +158,9 @@ type Log struct {
 	// syncedSeq is the durability horizon: the highest sequence number
 	// known to have reached stable storage (see SyncedSeq).
 	syncedSeq uint64
+
+	// batchBuf is AppendBatch's reusable frame-assembly buffer.
+	batchBuf []byte
 }
 
 // Create initializes a fresh log in dir, which must be empty (or not yet
@@ -250,12 +253,7 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("wal: payload %d exceeds max %d", len(payload), MaxPayload)
 	}
 	seq := l.nextSeq
-	frame := make([]byte, frameSize+len(payload))
-	binary.LittleEndian.PutUint64(frame[0:8], seq)
-	frame[8] = kind
-	binary.LittleEndian.PutUint32(frame[9:13], uint32(len(payload)))
-	copy(frame[frameSize:], payload)
-	binary.LittleEndian.PutUint32(frame[13:17], frameCRC(seq, kind, payload))
+	frame := appendFrame(nil, seq, kind, payload)
 	if _, err := l.f.Write(frame); err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
@@ -443,6 +441,18 @@ func scanSegment(b []byte, name string, prevSeq uint64) (int, []Record, *Corrupt
 		off += frameSize + int(length)
 	}
 	return off, recs, nil
+}
+
+// appendFrame appends one encoded frame to buf and returns the extended
+// slice — the single frame-encoding path shared by Append and AppendBatch.
+func appendFrame(buf []byte, seq uint64, kind uint8, payload []byte) []byte {
+	var hdr [frameSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], seq)
+	hdr[8] = kind
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[13:17], frameCRC(seq, kind, payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
 }
 
 func frameCRC(seq uint64, kind uint8, payload []byte) uint32 {

@@ -59,6 +59,9 @@ var (
 	// exposition format.
 	WritePrometheus = obs.WritePrometheus
 
+	// NewHistogram returns an empty standalone histogram.
+	NewHistogram = hist.New
+
 	// NewHistRegistry returns an empty histogram registry.
 	NewHistRegistry = hist.NewRegistry
 
