@@ -9,7 +9,7 @@ GO ?= go
 BENCH_PKGS := ./internal/core ./internal/agreement ./internal/chaos ./internal/netsub ./internal/serve ./internal/fleet ./internal/wal
 BENCH_PAT  ?= .
 
-.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover telemetry-short net-short serve-short fleet-short
+.PHONY: build test race vet ci bench bench-check chaos-short chaos recovery-short mc-short mc-cover hoalg-short telemetry-short net-short serve-short fleet-short
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-ci: vet build race chaos-short recovery-short mc-short mc-cover telemetry-short net-short serve-short fleet-short
+ci: vet build race chaos-short recovery-short mc-short mc-cover hoalg-short telemetry-short net-short serve-short fleet-short
 
 # Fixed-seed, small-N fault-injection campaigns under the race detector:
 # quick enough for every CI run, loud on any safety violation (the chaos
@@ -66,6 +66,20 @@ mc-cover:
 		for (i = 1; i <= NF; i++) if ($$i == "coverage:") c = substr($$(i+1), 1, length($$(i+1))-1); \
 		print } END { \
 		if (c + 0 < 85) { print "internal/mc coverage " c "% below 85% floor"; exit 1 } }'
+
+# Model-algebra gate: the differential suites (compiled vs bespoke
+# checkers, compiled vs bespoke enumerators, fuzz seed corpus, chaos
+# closure) under the race detector, one -model smoke per run mode, and a
+# coverage floor on the compiler package itself.
+hoalg-short:
+	$(GO) test -race -count=1 ./internal/hoalg/ ./internal/adversary/
+	$(GO) run -race ./cmd/rrfdsim -model sync-crash -n 3 -f 1 -alg none -rounds 3
+	$(GO) run -race ./cmd/rrfdsim -mc -model 'kset(2) | perround(1)' -n 3 -f 1 -k 2 -alg qkset
+	$(GO) run -race ./cmd/rrfdsim -chaos -model async -n 5 -f 1 -k 2 -runs 10 -rounds 3 -seed 7
+	$(GO) test -cover ./internal/hoalg/ | awk '{ \
+		for (i = 1; i <= NF; i++) if ($$i == "coverage:") c = substr($$(i+1), 1, length($$(i+1))-1); \
+		print } END { \
+		if (c + 0 < 85) { print "internal/hoalg coverage " c "% below 85% floor"; exit 1 } }'
 
 # Telemetry smoke under the race detector: a single run writes a Perfetto
 # trace and a metrics snapshot; the planted-bug chaos campaign must fail

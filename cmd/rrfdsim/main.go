@@ -48,6 +48,14 @@
 // -mc-replay, and exits non-zero. -bug plants a wrong-quorum-size decision
 // rule (-alg qkset) the checker demonstrably catches.
 //
+// Model algebra: -model takes a predicate expression over the per-round
+// suspicion sets D(i,r) — or a name from the derived-model catalog
+// (internal/hoalg) — and compiles it into whichever artifact the selected
+// mode needs: plain runs sample its oracle and check its predicate, -mc
+// enumerates its schedules branch by branch with the predicate as a trace
+// property, -chaos pins the campaign to its compiled fault plan under
+// lock-step rounds.
+//
 // Crash recovery: -checkpoint DIR journals the execution to a write-ahead
 // log; -kill-after R deterministically kills the run at a round boundary;
 // -resume DIR reconstructs the journaled run (same flags = same oracle and
@@ -67,6 +75,10 @@
 //	go run ./cmd/rrfdsim -system s -n 6 -alg coordinator -trace
 //	go run ./cmd/rrfdsim -system snapshot -n 6 -f 2 -alg none -rounds 4
 //	go run ./cmd/rrfdsim -substrate tcp -n 4 -f 1 -k 2 -rounds 3
+//	go run ./cmd/rrfdsim -model sync-crash -n 3 -f 1 -alg none -rounds 3
+//	go run ./cmd/rrfdsim -model 'selftrust & atmost(1)' -n 3 -f 1 -alg none -rounds 3
+//	go run ./cmd/rrfdsim -mc -model 'kset(2) | perround(1)' -n 3 -f 1 -k 2 -alg qkset
+//	go run ./cmd/rrfdsim -chaos -model async -n 5 -f 1 -k 2 -runs 20 -rounds 3
 //	go run ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset
 //	go run ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset -bug -workers 4
 //	go run ./cmd/rrfdsim -mc -system async -n 3 -f 1 -alg qkset -bug -mc-replay c1:4
@@ -98,6 +110,7 @@ import (
 // config collects every flag so run is unit-testable without a flag set.
 type config struct {
 	system, alg string
+	model       string
 	n, f, k     int
 	rounds      int
 	seed        int64
@@ -151,6 +164,7 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.system, "system", "kset", "system: omission|crash|chain|async|sharedmem|snapshot|kset|identical|s|benign")
 	flag.StringVar(&cfg.alg, "alg", "kset", "algorithm: kset|floodmin|floodset|coordinator|none")
+	flag.StringVar(&cfg.model, "model", "", "model expression or catalog name (internal/hoalg): overrides -system in plain runs, drives -mc enumeration branch by branch, and fixes the -chaos fault plan")
 	flag.IntVar(&cfg.n, "n", 8, "number of processes")
 	flag.IntVar(&cfg.f, "f", 2, "fault budget")
 	flag.IntVar(&cfg.k, "k", 2, "agreement parameter k")
@@ -205,6 +219,11 @@ func main() {
 	}
 }
 
+// modelStab is the stabilization round the catalog's eventual models
+// (eventually-s, eventually-sync) are instantiated with from the CLI;
+// explicit eventually(r, ...) expressions pick their own window.
+const modelStab = 2
+
 func run(cfg config, w io.Writer) error {
 	if cfg.netChild {
 		return runNetChild(cfg, w)
@@ -256,29 +275,43 @@ func run(cfg config, w io.Writer) error {
 		pred   rrfd.Predicate
 	)
 	n, f, k, seed := cfg.n, cfg.f, cfg.k, cfg.seed
-	switch cfg.system {
-	case "omission":
-		oracle, pred = rrfd.Omission(n, f, 0.7, seed), rrfd.SendOmission(f)
-	case "crash":
-		oracle, pred = rrfd.Crash(n, f, seed), rrfd.SyncCrash(f)
-	case "chain":
-		oracle, pred = rrfd.ChainCrash(n, f, k), rrfd.SyncCrash(f)
-	case "async":
-		oracle, pred = rrfd.AsyncBudget(n, f, true, seed), rrfd.PerRoundBudget(f)
-	case "sharedmem":
-		oracle, pred = rrfd.SharedMemAdversary(n, f, seed), rrfd.SharedMemory(f)
-	case "snapshot":
-		oracle, pred = rrfd.SnapshotChain(n, f, seed), rrfd.AtomicSnapshot(f)
-	case "kset":
-		oracle, pred = rrfd.KSetUncertainty(n, k, seed), rrfd.KSetDetector(k)
-	case "identical":
-		oracle, pred = rrfd.Identical(n, seed), rrfd.IdenticalSuspects()
-	case "s":
-		oracle, pred = rrfd.SpareNeverSuspected(n, rrfd.PID(seed)%rrfd.PID(n), seed), rrfd.NeverSuspectedExists()
-	case "benign":
-		oracle, pred = rrfd.Benign(n), rrfd.SendOmission(0)
-	default:
-		return fmt.Errorf("unknown system %q", cfg.system)
+	if cfg.model != "" {
+		// A model expression replaces the bespoke system pair: the compiled
+		// seeded oracle samples one path the model allows, and the compiled
+		// predicate is the same membership check the -system families get.
+		expr, err := rrfd.ResolveModel(cfg.model, rrfd.ModelParams{N: n, F: f, K: k, Stab: modelStab})
+		if err != nil {
+			return err
+		}
+		if oracle, err = expr.Oracle(n, seed); err != nil {
+			return err
+		}
+		pred = expr.Compile()
+	} else {
+		switch cfg.system {
+		case "omission":
+			oracle, pred = rrfd.Omission(n, f, 0.7, seed), rrfd.SendOmission(f)
+		case "crash":
+			oracle, pred = rrfd.Crash(n, f, seed), rrfd.SyncCrash(f)
+		case "chain":
+			oracle, pred = rrfd.ChainCrash(n, f, k), rrfd.SyncCrash(f)
+		case "async":
+			oracle, pred = rrfd.AsyncBudget(n, f, true, seed), rrfd.PerRoundBudget(f)
+		case "sharedmem":
+			oracle, pred = rrfd.SharedMemAdversary(n, f, seed), rrfd.SharedMemory(f)
+		case "snapshot":
+			oracle, pred = rrfd.SnapshotChain(n, f, seed), rrfd.AtomicSnapshot(f)
+		case "kset":
+			oracle, pred = rrfd.KSetUncertainty(n, k, seed), rrfd.KSetDetector(k)
+		case "identical":
+			oracle, pred = rrfd.Identical(n, seed), rrfd.IdenticalSuspects()
+		case "s":
+			oracle, pred = rrfd.SpareNeverSuspected(n, rrfd.PID(seed)%rrfd.PID(n), seed), rrfd.NeverSuspectedExists()
+		case "benign":
+			oracle, pred = rrfd.Benign(n), rrfd.SendOmission(0)
+		default:
+			return fmt.Errorf("unknown system %q", cfg.system)
+		}
 	}
 
 	// Observability wiring: metrics, the JSONL event sink and the causal
@@ -390,7 +423,7 @@ func run(cfg config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "collected %d rounds from system %q\n", tr.Len(), cfg.system)
+		fmt.Fprintf(w, "collected %d rounds from %s\n", tr.Len(), sourceLabel(cfg))
 		if cfg.dumpTrace {
 			fmt.Fprint(w, tr.String())
 		}
@@ -420,7 +453,11 @@ func run(cfg config, w io.Writer) error {
 	if cfg.resumeDir != "" {
 		fmt.Fprintf(w, "resumed from %s\n", cfg.resumeDir)
 	}
-	fmt.Fprintf(w, "system=%s alg=%s n=%d f=%d k=%d seed=%d\n", cfg.system, cfg.alg, n, f, k, seed)
+	if cfg.model != "" {
+		fmt.Fprintf(w, "model=%q alg=%s n=%d f=%d k=%d seed=%d\n", cfg.model, cfg.alg, n, f, k, seed)
+	} else {
+		fmt.Fprintf(w, "system=%s alg=%s n=%d f=%d k=%d seed=%d\n", cfg.system, cfg.alg, n, f, k, seed)
+	}
 	fmt.Fprintf(w, "rounds: %d, crashed: %s\n", res.Rounds, res.Crashed)
 	fmt.Fprintf(w, "decisions (%d distinct):\n", res.DistinctOutputs())
 	for p := rrfd.PID(0); int(p) < n; p++ {
@@ -462,6 +499,26 @@ func runChaos(cfg config, tel *rrfd.Telemetry, w io.Writer) error {
 	}
 
 	ccfg := chaosConfig(cfg)
+	if cfg.model != "" {
+		// A model expression pins the campaign to its compiled fault plan
+		// (every run, same plan, varying schedules) and swaps the stock
+		// eq. (3) trace check for the compiled model predicate.
+		expr, err := rrfd.ResolveModel(cfg.model, rrfd.ModelParams{N: cfg.n, F: cfg.f, K: cfg.k, Stab: modelStab})
+		if err != nil {
+			return err
+		}
+		plan, err := expr.CompilePlan(cfg.n, cfg.seed)
+		if err != nil {
+			return err
+		}
+		pred := expr.Compile()
+		ccfg.FixedPlan = &plan
+		ccfg.TracePred = &pred
+		// Lock-step rounds: the compiled plan is the only suspicion source,
+		// so the run satisfies (honest) or violates (negated) the model by
+		// construction rather than by scheduler luck.
+		ccfg.SyncRounds = true
+	}
 	ccfg.Observer = rrfd.MultiObserver(metrics, events)
 	ccfg.Out = w
 	if tel != nil {
@@ -657,6 +714,14 @@ func validate(cfg config) error {
 			return fmt.Errorf("-substrate tcp runs n separate processes: drop -metrics/-telemetry")
 		}
 	}
+	if cfg.model != "" {
+		if cfg.chaosRecover || cfg.chaosServe {
+			return fmt.Errorf("-model drives plain, -chaos and -mc runs: drop -chaos-recover/-chaos-serve")
+		}
+		if cfg.substrate == "tcp" {
+			return fmt.Errorf("-model compiles virtual-substrate adversaries: drop -substrate tcp")
+		}
+	}
 	if cfg.workers > 1 && !cfg.chaos && !cfg.chaosRecover && !cfg.mc {
 		return fmt.Errorf("-workers parallelizes campaign runs: add -chaos, -chaos-recover or -mc")
 	}
@@ -709,6 +774,15 @@ func validate(cfg config) error {
 		return fmt.Errorf("checkpointing journals an algorithm run: use an -alg other than none")
 	}
 	return nil
+}
+
+// sourceLabel names what produced a collected trace: the bespoke -system
+// adversary or the compiled -model expression.
+func sourceLabel(cfg config) string {
+	if cfg.model != "" {
+		return fmt.Sprintf("model %q", cfg.model)
+	}
+	return fmt.Sprintf("system %q", cfg.system)
 }
 
 func report(w io.Writer, pred rrfd.Predicate, tr *rrfd.Trace) error {

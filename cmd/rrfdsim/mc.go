@@ -13,29 +13,59 @@ import (
 // runMC executes the systematic model checker: exhaustive (or bounded)
 // exploration of every adversary schedule an enumerable model allows over
 // a small system, checking validity and k-agreement on every schedule.
-// A violation prints a shrunk, replayable counterexample and exits
-// non-zero; -mc-replay re-executes one recorded schedule.
+// With -model, the enumerator is compiled from the model expression and
+// every explored trace is additionally checked for model membership; a
+// disjunction is explored branch by branch (mixing branches per round
+// could satisfy neither disjunct). A violation prints a shrunk,
+// replayable counterexample and exits non-zero; -mc-replay re-executes
+// one recorded schedule.
 func runMC(cfg config, tel *rrfd.Telemetry, w io.Writer) error {
 	n, f, k := cfg.n, cfg.f, cfg.k
 
-	var (
-		enum rrfd.AdversaryEnum
-		err  error
-	)
-	switch cfg.system {
-	case "async":
-		enum, err = rrfd.EnumPerRoundBudget(n, f)
-	case "kset":
-		enum, err = rrfd.EnumKSet(n, k)
-	case "omission":
-		enum, err = rrfd.EnumSendOmission(n, f)
-	case "crash":
-		enum, err = rrfd.EnumSyncCrash(n, f)
-	default:
-		return fmt.Errorf("-mc enumerates systems async|kset|omission|crash, got %q", cfg.system)
+	// Each exploration is one enumerator: the bespoke -system families are
+	// single-branch; a compiled -model contributes one per disjunct.
+	type exploration struct {
+		label string
+		enum  rrfd.AdversaryEnum
 	}
-	if err != nil {
-		return err
+	var (
+		exps      []exploration
+		modelPred rrfd.Predicate
+	)
+	if cfg.model != "" {
+		expr, err := rrfd.ResolveModel(cfg.model, rrfd.ModelParams{N: n, F: f, K: k, Stab: modelStab})
+		if err != nil {
+			return err
+		}
+		branches, err := expr.EnumBranches(n)
+		if err != nil {
+			return err
+		}
+		modelPred = expr.Compile()
+		for _, b := range branches {
+			exps = append(exps, exploration{label: b.Expr.String(), enum: b.Enum})
+		}
+	} else {
+		var (
+			enum rrfd.AdversaryEnum
+			err  error
+		)
+		switch cfg.system {
+		case "async":
+			enum, err = rrfd.EnumPerRoundBudget(n, f)
+		case "kset":
+			enum, err = rrfd.EnumKSet(n, k)
+		case "omission":
+			enum, err = rrfd.EnumSendOmission(n, f)
+		case "crash":
+			enum, err = rrfd.EnumSyncCrash(n, f)
+		default:
+			return fmt.Errorf("-mc enumerates systems async|kset|omission|crash, got %q", cfg.system)
+		}
+		if err != nil {
+			return err
+		}
+		exps = []exploration{{label: cfg.system, enum: enum}}
 	}
 
 	inputs := make([]rrfd.Value, n)
@@ -69,31 +99,43 @@ func runMC(cfg config, tel *rrfd.Telemetry, w io.Writer) error {
 		return fmt.Errorf("-bug plants the wrong-quorum decision rule: use -alg qkset")
 	}
 
-	spec := rrfd.MCRunSpec{
-		N:       n,
-		Inputs:  inputs,
-		Factory: factory,
-		Oracle: func(ctx *rrfd.MCCtx) rrfd.Oracle {
-			return rrfd.EnumeratedAdversary(ctx, n, enum)
-		},
-		Props: []rrfd.MCProperty{
-			rrfd.MCValidity(inputs),
-			rrfd.MCKAgreement(bound),
-		},
-		Mark: true,
+	makeSpec := func(e exploration, tracer *rrfd.Tracer) rrfd.MCRunSpec {
+		spec := rrfd.MCRunSpec{
+			N:       n,
+			Inputs:  inputs,
+			Factory: factory,
+			Oracle: func(ctx *rrfd.MCCtx) rrfd.Oracle {
+				return rrfd.EnumeratedAdversary(ctx, n, e.enum)
+			},
+			Props: []rrfd.MCProperty{
+				rrfd.MCValidity(inputs),
+				rrfd.MCKAgreement(bound),
+			},
+			// The compiled membership check is a path property, which makes
+			// state-hash pruning unsound: -model explorations run unpruned.
+			Mark: cfg.model == "",
+		}
+		if cfg.model != "" {
+			spec.Model = &modelPred
+		}
+		if tracer != nil {
+			spec.Observer = tracer
+		}
+		return spec
 	}
-
-	// A replayed counterexample is a single deterministic execution, so it
-	// can carry a causal tracer; validate() rejects -perfetto for the
-	// exploration itself (thousands of interleaved schedules).
-	var tracer *rrfd.Tracer
-	if cfg.mcReplay != "" && cfg.perfetto != "" {
-		tracer = rrfd.NewTracer()
-		spec.Observer = tracer
-	}
-	run := rrfd.MCCheckRun(spec)
 
 	if cfg.mcReplay != "" {
+		if len(exps) > 1 {
+			return fmt.Errorf("-mc-replay fixes one choice sequence, which is ambiguous over the %d branches of model %q: replay against the single branch expression instead", len(exps), cfg.model)
+		}
+		// A replayed counterexample is a single deterministic execution, so
+		// it can carry a causal tracer; validate() rejects -perfetto for the
+		// exploration itself (thousands of interleaved schedules).
+		var tracer *rrfd.Tracer
+		if cfg.perfetto != "" {
+			tracer = rrfd.NewTracer()
+		}
+		run := rrfd.MCCheckRun(makeSpec(exps[0], tracer))
 		choices, err := rrfd.ParseChoices(cfg.mcReplay)
 		if err != nil {
 			return err
@@ -140,24 +182,50 @@ func runMC(cfg config, tel *rrfd.Telemetry, w io.Writer) error {
 		opts.Observer = observer
 	}
 
+	if cfg.model != "" {
+		fmt.Fprintf(w, "mc: model=%q alg=%s n=%d f=%d k=%d bound=%d branches=%d\n",
+			cfg.model, cfg.alg, n, f, k, bound, len(exps))
+	} else {
+		fmt.Fprintf(w, "mc: system=%s alg=%s n=%d f=%d k=%d bound=%d\n",
+			cfg.system, cfg.alg, n, f, k, bound)
+	}
+
 	start := time.Now()
-	res, err := rrfd.MCExplore(opts, run)
-	if err != nil {
-		return err
+	var (
+		schedules int
+		cx        *rrfd.MCCounterexample
+		cxLabel   string
+		exhausted = true
+		limitHit  bool
+	)
+	for _, e := range exps {
+		res, err := rrfd.MCExplore(opts, rrfd.MCCheckRun(makeSpec(e, nil)))
+		if err != nil {
+			return err
+		}
+		schedules += res.Schedules
+		if cfg.model != "" {
+			fmt.Fprintf(w, "branch %q: schedules=%d pruned=%d sampled=%d symmetry_skips=%d sleep_skips=%d max_depth=%d\n",
+				e.label, res.Schedules, res.Pruned, res.Sampled, res.SymmetrySkips, res.SleepSkips, res.Stats.MaxDepth)
+		} else {
+			fmt.Fprintf(w, "schedules=%d pruned=%d sampled=%d symmetry_skips=%d sleep_skips=%d max_depth=%d\n",
+				res.Schedules, res.Pruned, res.Sampled, res.SymmetrySkips, res.SleepSkips, res.Stats.MaxDepth)
+		}
+		exhausted = exhausted && res.Exhausted
+		limitHit = limitHit || res.LimitHit
+		if res.Counterexample != nil {
+			cx, cxLabel = res.Counterexample, e.label
+			break
+		}
 	}
 	// Exploration throughput goes to the telemetry registry only — the
 	// printed report stays wall-time free, so fixed seeds keep producing
 	// byte-identical output.
 	if tel != nil {
 		if secs := time.Since(start).Seconds(); secs > 0 {
-			tel.Hist.Get("mc_schedules_per_sec").Record(int64(float64(res.Schedules) / secs))
+			tel.Hist.Get("mc_schedules_per_sec").Record(int64(float64(schedules) / secs))
 		}
 	}
-
-	fmt.Fprintf(w, "mc: system=%s alg=%s n=%d f=%d k=%d bound=%d\n",
-		cfg.system, cfg.alg, n, f, k, bound)
-	fmt.Fprintf(w, "schedules=%d pruned=%d sampled=%d symmetry_skips=%d sleep_skips=%d max_depth=%d\n",
-		res.Schedules, res.Pruned, res.Sampled, res.SymmetrySkips, res.SleepSkips, res.Stats.MaxDepth)
 
 	if events != nil {
 		if err := eventsBuf.Flush(); err != nil {
@@ -177,18 +245,21 @@ func runMC(cfg config, tel *rrfd.Telemetry, w io.Writer) error {
 	}
 
 	switch {
-	case res.Counterexample != nil:
-		cx := res.Counterexample
+	case cx != nil:
 		fmt.Fprintf(w, "violation: %v\n", cx.Err)
 		replay := rrfd.FormatChoices(cx.Choices)
 		fmt.Fprintf(w, "counterexample (%d choices, shrunk from %d): %s\n",
 			len(cx.Choices), len(cx.FirstFound), replay)
-		fmt.Fprintf(w, "replay with: -mc -mc-replay %s (same system/alg flags)\n", replay)
+		if cfg.model != "" {
+			fmt.Fprintf(w, "replay with: -mc -model '%s' -mc-replay %s (same alg flags)\n", cxLabel, replay)
+		} else {
+			fmt.Fprintf(w, "replay with: -mc -mc-replay %s (same system/alg flags)\n", replay)
+		}
 		return fmt.Errorf("mc: property violated")
-	case res.Exhausted:
+	case exhausted:
 		fmt.Fprintln(w, "exhausted: every schedule satisfies the properties")
-	case res.LimitHit:
-		fmt.Fprintf(w, "limit: %d schedules run without exhausting the space (raise -mc-max)\n", res.Schedules)
+	case limitHit:
+		fmt.Fprintf(w, "limit: %d schedules run without exhausting the space (raise -mc-max)\n", schedules)
 	default:
 		fmt.Fprintf(w, "bounded: sampled beyond depth %d, no violation found\n", cfg.mcDepth)
 	}

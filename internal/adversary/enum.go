@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/hoalg"
 	"repro/internal/mc"
 )
 
@@ -14,32 +15,19 @@ import (
 // Shimi–Hurault–Queinnec's round-based characterization (PAPERS.md) is
 // what makes this tractable: the predicate families are finitely
 // enumerable per round.
+//
+// The enumerators themselves are compiled from hoalg model expressions
+// (one source of truth for checker, enumerator and chaos plan); the four
+// constructors below keep their historical signatures as thin wrappers and
+// are held to byte-identical plan lists by the reference implementations
+// in enum_reference_test.go.
 
-// EnumState is what an Enum may condition on: the round, the processes
-// still emitting, and the suspicion history the model's predicate
-// constrains (cumulative for eq. (1)-style total budgets, previous-round
-// union for eq. (2)-style propagation).
-type EnumState struct {
-	// R is the round being planned (starts at 1).
-	R int
+// EnumState is what an Enum may condition on; see hoalg.EnumState.
+type EnumState = hoalg.EnumState
 
-	// Active is the set of processes that will emit this round unless the
-	// plan crashes them.
-	Active core.Set
-
-	// Suspected is ⋃_{r'<R} ⋃_i D(i,r'), every process suspected so far.
-	Suspected core.Set
-
-	// PrevUnion is ⋃_i D(i,R-1), the previous round's suspicion union
-	// (empty in round 1).
-	PrevUnion core.Set
-}
-
-// Enum lists every round plan the model allows from the given state. The
-// list must be non-empty (a model that can forbid all plans is not a
-// model), deterministic, and in a stable order — the choice tree is built
-// from its indices.
-type Enum func(st EnumState) []core.RoundPlan
+// Enum lists every round plan the model allows from the given state; see
+// hoalg.Enum.
+type Enum = hoalg.Enum
 
 // Enumerated drives an Enum as a core.Oracle for one explored schedule:
 // each round it enumerates the allowed plans and asks ctx to pick one,
@@ -58,11 +46,13 @@ type enumerated struct {
 	enum      Enum
 	suspected core.Set
 	prevUnion core.Set
+	unions    []core.Set
 }
 
 func (e *enumerated) Plan(r int, active core.Set) core.RoundPlan {
 	plans := e.enum(EnumState{R: r, Active: active.Clone(),
-		Suspected: e.suspected.Clone(), PrevUnion: e.prevUnion.Clone()})
+		Suspected: e.suspected.Clone(), PrevUnion: e.prevUnion.Clone(),
+		Unions: append([]core.Set(nil), e.unions...)})
 	if len(plans) == 0 {
 		panic(fmt.Sprintf("adversary: enum produced no plans in round %d", r))
 	}
@@ -80,11 +70,15 @@ func (e *enumerated) Plan(r int, active core.Set) core.RoundPlan {
 	}
 	e.prevUnion = u
 	e.suspected = e.suspected.Union(u)
+	e.unions = append(e.unions, u)
 	return plan
 }
 
 // Fingerprint implements mc.Fingerprinter over the state future plans
-// depend on.
+// depend on. It covers the cumulative and previous-round unions — enough
+// for the window-free model families explored with Mark-based pruning
+// (windowed "eventually" expressions are path properties and must be
+// explored with Mark off anyway).
 func (e *enumerated) Fingerprint() uint64 {
 	h := uint64(1469598103934665603)
 	mix := func(v uint64) { h = (h ^ v) * 1099511628211 }
@@ -122,61 +116,15 @@ func enumGuard(kind string, n, max int) error {
 	return nil
 }
 
-// without returns pool minus p.
-func without(pool core.Set, p core.PID) core.Set {
-	s := pool.Clone()
-	s.Remove(p)
-	return s
-}
-
-// subsets lists every subset of pool, smallest first, as n-sized sets.
-// The order is stable: subsets are generated by increasing popcount-free
-// bitmask over pool's members.
-func subsets(n int, pool core.Set, maxSize int) []core.Set {
-	members := pool.Members()
-	out := []core.Set{}
-	for mask := 0; mask < 1<<len(members); mask++ {
-		s := core.NewSet(n)
-		for b, p := range members {
-			if mask&(1<<b) != 0 {
-				s.Add(p)
-			}
-		}
-		if maxSize < 0 || s.Count() <= maxSize {
-			out = append(out, s)
-		}
+// compiled lowers a model expression to its enumerator, panicking on
+// compile errors: the four wrapped expressions below are enumerable by
+// construction once the n guard has passed.
+func compiled(e *hoalg.Expr, n int) Enum {
+	en, err := e.CompileEnum(n)
+	if err != nil {
+		panic(fmt.Sprintf("adversary: %v", err))
 	}
-	return out
-}
-
-// tuples builds one plan per combination of per-process suspect sets,
-// odometer order, keeping those ok admits. perProc[i] lists the candidate
-// D(i,r) for live process i; inactive processes get empty sets.
-func tuples(n int, active core.Set, perProc map[core.PID][]core.Set, ok func(ds []core.Set) bool) []core.RoundPlan {
-	lives := active.Members()
-	idx := make([]int, len(lives))
-	var out []core.RoundPlan
-	for {
-		ds := make([]core.Set, n)
-		for i := range ds {
-			ds[i] = core.NewSet(n)
-		}
-		for j, p := range lives {
-			ds[p] = perProc[p][idx[j]].Clone()
-		}
-		if ok == nil || ok(ds) {
-			out = append(out, core.RoundPlan{Suspects: ds})
-		}
-		j := len(idx) - 1
-		for j >= 0 && idx[j]+1 == len(perProc[lives[j]]) {
-			idx[j] = 0
-			j--
-		}
-		if j < 0 {
-			return out
-		}
-		idx[j]++
-	}
+	return en
 }
 
 // EnumPerRoundBudget enumerates eq. (3) — the asynchronous
@@ -187,13 +135,7 @@ func EnumPerRoundBudget(n, f int) (Enum, error) {
 	if err := enumGuard("per-round-budget", n, 4); err != nil {
 		return nil, err
 	}
-	return func(st EnumState) []core.RoundPlan {
-		per := make(map[core.PID][]core.Set)
-		st.Active.ForEach(func(p core.PID) {
-			per[p] = subsets(n, without(st.Active, p), f)
-		})
-		return tuples(n, st.Active, per, nil)
-	}, nil
+	return compiled(hoalg.PerRound(f), n), nil
 }
 
 // EnumKSet enumerates the k-set detector family: per round, the
@@ -203,28 +145,7 @@ func EnumKSet(n, k int) (Enum, error) {
 	if err := enumGuard("k-set", n, 3); err != nil {
 		return nil, err
 	}
-	return func(st EnumState) []core.RoundPlan {
-		per := make(map[core.PID][]core.Set)
-		st.Active.ForEach(func(p core.PID) {
-			per[p] = subsets(n, without(st.Active, p), -1)
-		})
-		return tuples(n, st.Active, per, func(ds []core.Set) bool {
-			var union, inter core.Set
-			first := true
-			st.Active.ForEach(func(p core.PID) {
-				if first {
-					union, inter, first = ds[p].Clone(), ds[p].Clone(), false
-					return
-				}
-				union = union.Union(ds[p])
-				inter = inter.Intersect(ds[p])
-			})
-			if first {
-				return true
-			}
-			return union.Diff(inter).Count() < k
-		})
-	}, nil
+	return compiled(hoalg.KSetEq3(k), n), nil
 }
 
 // EnumSendOmission enumerates eq. (1) — the synchronous model with at
@@ -234,19 +155,7 @@ func EnumSendOmission(n, f int) (Enum, error) {
 	if err := enumGuard("send-omission", n, 4); err != nil {
 		return nil, err
 	}
-	return func(st EnumState) []core.RoundPlan {
-		per := make(map[core.PID][]core.Set)
-		st.Active.ForEach(func(p core.PID) {
-			per[p] = subsets(n, without(st.Active, p), f)
-		})
-		return tuples(n, st.Active, per, func(ds []core.Set) bool {
-			u := st.Suspected.Clone()
-			for _, d := range ds {
-				u = u.Union(d)
-			}
-			return u.Count() <= f
-		})
-	}, nil
+	return compiled(hoalg.SendOmission(f), n), nil
 }
 
 // EnumSyncCrash enumerates eqs. (1)+(2) — the synchronous model with at
@@ -259,38 +168,5 @@ func EnumSyncCrash(n, f int) (Enum, error) {
 	if err := enumGuard("sync-crash", n, 4); err != nil {
 		return nil, err
 	}
-	return func(st EnumState) []core.RoundPlan {
-		// Processes fully suspected last round crash now; they stop
-		// emitting and everyone must keep suspecting them.
-		crashes := st.PrevUnion.Intersect(st.Active)
-		carried := st.Suspected // dead forever-suspected set
-		live := st.Active.Diff(crashes)
-
-		// The adversary picks which still-untouched processes start
-		// crashing this round, within the total budget f.
-		room := f - st.Suspected.Count()
-		if room < 0 {
-			room = 0
-		}
-		fresh := subsets(n, live.Diff(st.Suspected), room)
-
-		var out []core.RoundPlan
-		for _, newSusp := range fresh {
-			per := make(map[core.PID][]core.Set)
-			live.ForEach(func(p core.PID) {
-				var opts []core.Set
-				for _, miss := range subsets(n, without(newSusp, p), -1) {
-					opts = append(opts, carried.Union(crashes).Union(miss))
-				}
-				per[p] = opts
-			})
-			for _, pl := range tuples(n, live, per, nil) {
-				pl.Crashes = crashes.Clone()
-				// Crashed processes carry empty D entries already (they
-				// do not emit), matching the engine contract.
-				out = append(out, pl)
-			}
-		}
-		return out
-	}, nil
+	return compiled(hoalg.SyncCrash(f), n), nil
 }

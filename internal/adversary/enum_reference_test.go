@@ -1,0 +1,350 @@
+package adversary_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/mc"
+)
+
+// This file holds the compiled enumerators to the bespoke hand-written
+// generators they replaced: refPerRoundBudget, refKSet, refSendOmission and
+// refSyncCrash are verbatim copies of the pre-hoalg implementations. The
+// wrappers must reproduce their plan lists byte for byte on every state the
+// engine can reach, and drive the model checker to identical statistics and
+// identical shrunk counterexamples.
+
+func refWithout(pool core.Set, p core.PID) core.Set {
+	s := pool.Clone()
+	s.Remove(p)
+	return s
+}
+
+func refSubsets(n int, pool core.Set, maxSize int) []core.Set {
+	members := pool.Members()
+	out := []core.Set{}
+	for mask := 0; mask < 1<<len(members); mask++ {
+		s := core.NewSet(n)
+		for b, p := range members {
+			if mask&(1<<b) != 0 {
+				s.Add(p)
+			}
+		}
+		if maxSize < 0 || s.Count() <= maxSize {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func refTuples(n int, active core.Set, perProc map[core.PID][]core.Set, ok func(ds []core.Set) bool) []core.RoundPlan {
+	lives := active.Members()
+	idx := make([]int, len(lives))
+	var out []core.RoundPlan
+	for {
+		ds := make([]core.Set, n)
+		for i := range ds {
+			ds[i] = core.NewSet(n)
+		}
+		for j, p := range lives {
+			ds[p] = perProc[p][idx[j]].Clone()
+		}
+		if ok == nil || ok(ds) {
+			out = append(out, core.RoundPlan{Suspects: ds})
+		}
+		j := len(idx) - 1
+		for j >= 0 && idx[j]+1 == len(perProc[lives[j]]) {
+			idx[j] = 0
+			j--
+		}
+		if j < 0 {
+			return out
+		}
+		idx[j]++
+	}
+}
+
+func refPerRoundBudget(n, f int) adversary.Enum {
+	return func(st adversary.EnumState) []core.RoundPlan {
+		per := make(map[core.PID][]core.Set)
+		st.Active.ForEach(func(p core.PID) {
+			per[p] = refSubsets(n, refWithout(st.Active, p), f)
+		})
+		return refTuples(n, st.Active, per, nil)
+	}
+}
+
+func refKSet(n, k int) adversary.Enum {
+	return func(st adversary.EnumState) []core.RoundPlan {
+		per := make(map[core.PID][]core.Set)
+		st.Active.ForEach(func(p core.PID) {
+			per[p] = refSubsets(n, refWithout(st.Active, p), -1)
+		})
+		return refTuples(n, st.Active, per, func(ds []core.Set) bool {
+			var union, inter core.Set
+			first := true
+			st.Active.ForEach(func(p core.PID) {
+				if first {
+					union, inter, first = ds[p].Clone(), ds[p].Clone(), false
+					return
+				}
+				union = union.Union(ds[p])
+				inter = inter.Intersect(ds[p])
+			})
+			if first {
+				return true
+			}
+			return union.Diff(inter).Count() < k
+		})
+	}
+}
+
+func refSendOmission(n, f int) adversary.Enum {
+	return func(st adversary.EnumState) []core.RoundPlan {
+		per := make(map[core.PID][]core.Set)
+		st.Active.ForEach(func(p core.PID) {
+			per[p] = refSubsets(n, refWithout(st.Active, p), f)
+		})
+		return refTuples(n, st.Active, per, func(ds []core.Set) bool {
+			u := st.Suspected.Clone()
+			for _, d := range ds {
+				u = u.Union(d)
+			}
+			return u.Count() <= f
+		})
+	}
+}
+
+func refSyncCrash(n, f int) adversary.Enum {
+	return func(st adversary.EnumState) []core.RoundPlan {
+		crashes := st.PrevUnion.Intersect(st.Active)
+		carried := st.Suspected
+		live := st.Active.Diff(crashes)
+
+		room := f - st.Suspected.Count()
+		if room < 0 {
+			room = 0
+		}
+		fresh := refSubsets(n, live.Diff(st.Suspected), room)
+
+		var out []core.RoundPlan
+		for _, newSusp := range fresh {
+			per := make(map[core.PID][]core.Set)
+			live.ForEach(func(p core.PID) {
+				var opts []core.Set
+				for _, miss := range refSubsets(n, refWithout(newSusp, p), -1) {
+					opts = append(opts, carried.Union(crashes).Union(miss))
+				}
+				per[p] = opts
+			})
+			for _, pl := range refTuples(n, live, per, nil) {
+				pl.Crashes = crashes.Clone()
+				out = append(out, pl)
+			}
+		}
+		return out
+	}
+}
+
+// family pairs one wrapped constructor with its reference twin.
+type family struct {
+	name     string
+	n        int
+	wrapped  adversary.Enum
+	ref      adversary.Enum
+	explored int // depth (rounds) for the plan-list walk
+}
+
+func families(t *testing.T) []family {
+	t.Helper()
+	mk := func(e adversary.Enum, err error) adversary.Enum {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	var out []family
+	for n := 2; n <= 4; n++ {
+		for f := 0; f <= 2; f++ {
+			out = append(out,
+				family{"per-round-budget", n, mk(adversary.EnumPerRoundBudget(n, f)), refPerRoundBudget(n, f), 2},
+				family{"send-omission", n, mk(adversary.EnumSendOmission(n, f)), refSendOmission(n, f), 2},
+				family{"sync-crash", n, mk(adversary.EnumSyncCrash(n, f)), refSyncCrash(n, f), 3},
+			)
+		}
+	}
+	for n := 2; n <= 3; n++ {
+		for k := 1; k <= 2; k++ {
+			out = append(out, family{"k-set", n, mk(adversary.EnumKSet(n, k)), refKSet(n, k), 2})
+		}
+	}
+	return out
+}
+
+// walkStates drives both enumerators through engine-reachable states: from
+// each state the full plan lists must be identical; a sample of plans is
+// then applied (active shrinks by the plan's crashes, the suspicion history
+// advances exactly as adversary.Enumerated records it) and the walk
+// recurses. Sampling first/middle/last plans bounds the branching while
+// still exercising crashing and non-crashing successors.
+func walkStates(t *testing.T, fam family, st adversary.EnumState, depth int) {
+	t.Helper()
+	ref := fam.ref(st)
+	got := fam.wrapped(st)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("%s n=%d: plan lists diverge at state %+v:\n  wrapped %d plans, reference %d plans",
+			fam.name, fam.n, st, len(got), len(ref))
+	}
+	if depth == 0 || len(ref) == 0 {
+		return
+	}
+	picks := map[int]bool{0: true, len(ref) / 2: true, len(ref) - 1: true}
+	for idx := range picks {
+		plan := ref[idx]
+		u := core.NewSet(fam.n)
+		for _, d := range plan.Suspects {
+			if !d.Empty() {
+				u = u.Union(d)
+			}
+		}
+		next := adversary.EnumState{
+			R:         st.R + 1,
+			Active:    st.Active.Diff(plan.Crashes),
+			Suspected: st.Suspected.Union(u),
+			PrevUnion: u,
+			Unions:    append(append([]core.Set(nil), st.Unions...), u),
+		}
+		walkStates(t, fam, next, depth-1)
+	}
+}
+
+func TestCompiledEnumsMatchReferencePlanLists(t *testing.T) {
+	for _, fam := range families(t) {
+		st := adversary.EnumState{
+			R:         1,
+			Active:    core.FullSet(fam.n),
+			Suspected: core.NewSet(fam.n),
+			PrevUnion: core.NewSet(fam.n),
+		}
+		walkStates(t, fam, st, fam.explored)
+	}
+}
+
+// exploreWith runs the standard qkset exploration under the given
+// enumeration and returns the result.
+func exploreWith(t *testing.T, n, f int, factory core.Factory, enum adversary.Enum) *mc.Result {
+	t.Helper()
+	inputs := make([]core.Value, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	res, err := mc.Explore(mc.Options{}, mc.CheckRun(mc.RunSpec{
+		N:       n,
+		Inputs:  inputs,
+		Factory: factory,
+		Oracle: func(ctx *mc.Ctx) core.Oracle {
+			return adversary.Enumerated(ctx, n, enum)
+		},
+		Props: []mc.Property{
+			mc.Validity(inputs),
+			mc.KAgreement(f + 1),
+		},
+		Mark: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCompiledEnumsMatchReferenceInMC holds the wrappers to identical
+// model-checking statistics: same schedule counts, same pruning, same
+// symmetry skips, same exhaustion — the whole choice tree is the same.
+func TestCompiledEnumsMatchReferenceInMC(t *testing.T) {
+	const n, f, k = 3, 1, 2
+	cases := []struct {
+		name    string
+		wrapped adversary.Enum
+		ref     adversary.Enum
+		want    int // exact schedule count, -1 to skip
+	}{
+		{"per-round-budget", must(t)(adversary.EnumPerRoundBudget(n, f)), refPerRoundBudget(n, f), -1},
+		{"k-set", must(t)(adversary.EnumKSet(n, k)), refKSet(n, k), -1},
+		{"send-omission", must(t)(adversary.EnumSendOmission(n, f)), refSendOmission(n, f), -1},
+		{"sync-crash", must(t)(adversary.EnumSyncCrash(n, f)), refSyncCrash(n, f), -1},
+	}
+	for _, tc := range cases {
+		got := exploreWith(t, n, f, agreement.QuorumKSet(f), tc.wrapped)
+		ref := exploreWith(t, n, f, agreement.QuorumKSet(f), tc.ref)
+		if got.Counterexample != nil || ref.Counterexample != nil {
+			t.Fatalf("%s: unexpected counterexample (wrapped %v, reference %v)",
+				tc.name, got.Counterexample, ref.Counterexample)
+		}
+		if got.Schedules != ref.Schedules || got.Pruned != ref.Pruned ||
+			got.SymmetrySkips != ref.SymmetrySkips || got.SleepSkips != ref.SleepSkips ||
+			got.Exhausted != ref.Exhausted {
+			t.Fatalf("%s: exploration stats diverge:\n  wrapped   %+v\n  reference %+v",
+				tc.name, got.Stats, ref.Stats)
+		}
+		if tc.want >= 0 && got.Schedules != tc.want {
+			t.Fatalf("%s: schedules = %d, want %d", tc.name, got.Schedules, tc.want)
+		}
+	}
+}
+
+func must(t *testing.T) func(adversary.Enum, error) adversary.Enum {
+	return func(e adversary.Enum, err error) adversary.Enum {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+}
+
+// TestCompiledEnumPerRoundScheduleCount pins the historical exact count:
+// two rounds of 27 plans each under FloodMin — the wrapped enumerator must
+// keep the bespoke 729.
+func TestCompiledEnumPerRoundScheduleCount(t *testing.T) {
+	enum := must(t)(adversary.EnumPerRoundBudget(3, 1))
+	ref := refPerRoundBudget(3, 1)
+	inputs := []core.Value{0, 1, 2}
+	run := func(e adversary.Enum) *mc.Result {
+		res, err := mc.Explore(mc.Options{}, mc.CheckRun(mc.RunSpec{
+			N: 3, Inputs: inputs, Factory: agreement.FloodMin(2),
+			Oracle: func(ctx *mc.Ctx) core.Oracle {
+				return adversary.Enumerated(ctx, 3, e)
+			},
+			Props: []mc.Property{mc.Validity(inputs)},
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	got, want := run(enum), run(ref)
+	if got.Schedules != 27*27 || want.Schedules != 27*27 {
+		t.Fatalf("schedules = %d (wrapped), %d (reference), want 729 for both",
+			got.Schedules, want.Schedules)
+	}
+}
+
+// TestCompiledEnumBuggyShrinksSame plants the wrong-quorum decision rule
+// and demands the identical shrunk counterexample replay string from the
+// wrapped and reference enumerations.
+func TestCompiledEnumBuggyShrinksSame(t *testing.T) {
+	const n, f = 3, 1
+	wrapped := exploreWith(t, n, f, agreement.QuorumKSetBuggy(f), must(t)(adversary.EnumPerRoundBudget(n, f)))
+	ref := exploreWith(t, n, f, agreement.QuorumKSetBuggy(f), refPerRoundBudget(n, f))
+	if wrapped.Counterexample == nil || ref.Counterexample == nil {
+		t.Fatalf("planted bug not caught (wrapped %v, reference %v)",
+			wrapped.Counterexample, ref.Counterexample)
+	}
+	got := mc.FormatChoices(wrapped.Counterexample.Choices)
+	want := mc.FormatChoices(ref.Counterexample.Choices)
+	if got != want {
+		t.Fatalf("shrunk counterexamples diverge: wrapped %q, reference %q", got, want)
+	}
+}

@@ -73,6 +73,29 @@ type Config struct {
 	// MaxSteps bounds each execution's scheduler steps; 0 means 1<<18.
 	MaxSteps int
 
+	// FixedPlan, when non-nil, replaces the per-run randomized fault plan:
+	// every run injects exactly this plan, while scheduler seeds and crash
+	// draws still vary per run. Compiled model plans (hoalg.CompilePlan)
+	// use this to pin a campaign to one fault scenario.
+	FixedPlan *faultnet.Plan
+
+	// TracePred, when non-nil, replaces the default eq. (3) conformance
+	// check with a compiled model predicate, applied to every completed
+	// execution's trace — stalled or not, since a model plan's forced
+	// omissions make watchdog suspicions part of the modelled behaviour
+	// rather than recovery noise.
+	TracePred *predicate.P
+
+	// SyncRounds makes the round protocol wait for every process instead
+	// of advancing at the first n−F arrivals, so the only suspicions are
+	// watchdog timeouts on processes whose messages genuinely never came.
+	// Without it, which process a round misses is scheduler arrival order
+	// — eq. (3) slack that even a fault-free run exhibits. Model campaigns
+	// (FixedPlan from hoalg.CompilePlan) set it so the induced suspicions
+	// are exactly D(i,r) = omitting senders ∖ {i}, the synchronous reading
+	// the plan compiler promises; the decision quorum stays at n−F.
+	SyncRounds bool
+
 	// QuorumBug deliberately breaks the decision rule — processes decide
 	// on sub-quorum views — so the harness can demonstrate that it catches
 	// an agreement bug. Never set outside tests and demos.
@@ -327,7 +350,11 @@ func Execute(cfg Config, schedSeed int64, plan faultnet.Plan, crashes map[core.P
 			})
 		}
 	}
-	out, rep, err := reliablelink.RunRounds(cfg.N, cfg.F, cfg.Rounds, reliablelink.RoundsConfig{
+	roundF := cfg.F
+	if cfg.SyncRounds {
+		roundF = 0 // lock-step rounds: only the watchdog produces suspicions
+	}
+	out, rep, err := reliablelink.RunRounds(cfg.N, roundF, cfg.Rounds, reliablelink.RoundsConfig{
 		Net: msgnet.Config{
 			Chooser:  msgnet.Seeded(schedSeed),
 			Crash:    crashes,
@@ -415,10 +442,19 @@ func check(cfg Config, res runResult) []Violation {
 		add("k-agreement", "%d distinct decisions %v exceed k=%d", len(distinct), vals, cfg.K)
 	}
 
-	// Predicate conformance: a stall-free execution's trace must satisfy
-	// the eq. (3) per-round suspicion budget — message loss that the link
-	// fully recovered leaves no mark on the fault-detector level.
-	if !res.stalled && res.out != nil && res.err == nil {
+	// Predicate conformance. With a TracePred the compiled model predicate
+	// is checked on every completed execution (watchdog suspicions under a
+	// model plan are modelled behaviour, not recovery noise); otherwise a
+	// stall-free execution's trace must satisfy the eq. (3) per-round
+	// suspicion budget — message loss that the link fully recovered leaves
+	// no mark on the fault-detector level.
+	if cfg.TracePred != nil {
+		if res.out != nil && res.err == nil {
+			if err := cfg.TracePred.Check(res.out.Trace); err != nil {
+				add("predicate", "trace violates model %q: %v", cfg.TracePred.Name, err)
+			}
+		}
+	} else if !res.stalled && res.out != nil && res.err == nil {
 		if err := predicate.PerRoundBudget(cfg.F).Check(res.out.Trace); err != nil {
 			add("predicate", "stall-free trace escapes eq.(3): %v", err)
 		}
@@ -486,6 +522,9 @@ func Run(cfg Config) *Summary {
 	}
 	outs, perr := par.Map(workers, cfg.Runs, func(run int) runOutcome {
 		plan := RandomPlan(cfg, draws[run].plan)
+		if cfg.FixedPlan != nil {
+			plan = *cfg.FixedPlan
+		}
 		crashes := randomCrashes(cfg, draws[run].plan)
 
 		var start time.Time

@@ -126,6 +126,7 @@ func All() []Runner {
 		{ID: "X02", Name: "immediate snapshots (ref. [4])", Run: X02ImmediateSnapshot},
 		{ID: "X03", Name: "ABD register over message passing (ref. [22])", Run: X03ABDRegister},
 		{ID: "X04", Name: "ablations: broken variants fail observably", Run: X04Ablations},
+		{ID: "X05", Name: "derived-model catalog: one expression, three artifacts", Run: X05CatalogModels},
 	}
 }
 

@@ -1,0 +1,131 @@
+package hoalg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestOracleTracesSatisfyModel: sampled oracle runs are the plain-run
+// counterpart of the exhaustive enumeration — every trace a model's
+// compiled oracle produces must satisfy that model's compiled checker.
+func TestOracleTracesSatisfyModel(t *testing.T) {
+	p := Params{N: 3, F: 1, K: 2, Stab: 1}
+	for _, m := range Catalog() {
+		e := m.Build(p)
+		pred := e.Compile()
+		for seed := int64(1); seed <= 20; seed++ {
+			oracle, err := e.Oracle(p.N, seed)
+			if err != nil {
+				t.Fatalf("%s: Oracle: %v", m.Name, err)
+			}
+			tr, err := core.CollectTrace(p.N, 4, oracle)
+			if err != nil {
+				t.Fatalf("%s seed %d: collect: %v", m.Name, seed, err)
+			}
+			if err := pred.Check(tr); err != nil {
+				t.Fatalf("%s seed %d: oracle trace escapes its own model: %v\n%s",
+					m.Name, seed, err, tr)
+			}
+		}
+	}
+}
+
+// TestEnumBranchesSplitsOr: a top-level disjunction yields one enumeration
+// branch per disjunct (in order), anything else a single branch.
+func TestEnumBranchesSplitsOr(t *testing.T) {
+	e := Or(KSetEq3(2), PerRound(1), Identical())
+	branches, err := e.EnumBranches(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 3 {
+		t.Fatalf("want 3 branches, got %d", len(branches))
+	}
+	for i, b := range branches {
+		if !b.Expr.Equal(e.Kids[i]) {
+			t.Fatalf("branch %d is %q, want %q", i, b.Expr, e.Kids[i])
+		}
+		if b.Enum == nil {
+			t.Fatalf("branch %d has no enumerator", i)
+		}
+	}
+	single, err := PerRound(1).EnumBranches(3)
+	if err != nil || len(single) != 1 {
+		t.Fatalf("non-disjunction should be one branch: %d, %v", len(single), err)
+	}
+}
+
+// TestCompileEnumRejections: disjunctions need EnumBranches, kset caps n at
+// 3, and any branch failing to compile fails the whole split.
+func TestCompileEnumRejections(t *testing.T) {
+	if _, err := Or(KSetEq3(2), PerRound(1)).CompileEnum(3); err == nil || !strings.Contains(err.Error(), "EnumBranches") {
+		t.Fatalf("CompileEnum accepted a disjunction: %v", err)
+	}
+	if _, err := KSetEq3(2).CompileEnum(4); err == nil || !strings.Contains(err.Error(), "n=4") {
+		t.Fatalf("kset enumeration accepted n=4: %v", err)
+	}
+	if _, err := Or(KSetEq3(2), PerRound(1)).EnumBranches(4); err == nil {
+		t.Fatal("EnumBranches accepted a kset branch at n=4")
+	}
+}
+
+// TestCompileEnumWindowSemantics: an eventually(stab, ...) leaves rounds
+// up to stab unconstrained and enforces the body from stab+1 on.
+func TestCompileEnumWindowSemantics(t *testing.T) {
+	const n = 3
+	enum, err := Eventually(1, AtMostSuspected(0)).CompileEnum(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := EnumState{R: 1, Active: core.FullSet(n),
+		Suspected: core.NewSet(n), PrevUnion: core.NewSet(n)}
+	round1 := enum(st)
+	nonEmpty := 0
+	for _, plan := range round1 {
+		for _, d := range plan.Suspects {
+			if !d.Empty() {
+				nonEmpty++
+				break
+			}
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("round 1 is inside the window and should allow suspicions")
+	}
+	st.R = 2
+	for _, plan := range enum(st) {
+		for _, d := range plan.Suspects {
+			if !d.Empty() {
+				t.Fatalf("round 2 is past stab=1; atmost(0) must forbid suspicions, got %v", plan.Suspects)
+			}
+		}
+	}
+}
+
+// TestCompileEnumNegatedAtom: negation on an atom enumerates per-round
+// violations — every emitted plan must break the atom that round.
+func TestCompileEnumNegatedAtom(t *testing.T) {
+	const n = 3
+	enum, err := Not(PerRound(0)).CompileEnum(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := enum(EnumState{R: 1, Active: core.FullSet(n),
+		Suspected: core.NewSet(n), PrevUnion: core.NewSet(n)})
+	if len(plans) == 0 {
+		t.Fatal("negated perround(0) admits no plans")
+	}
+	for _, plan := range plans {
+		broke := false
+		for _, d := range plan.Suspects {
+			if d.Count() > 0 {
+				broke = true
+			}
+		}
+		if !broke {
+			t.Fatalf("plan %v satisfies perround(0) instead of violating it", plan.Suspects)
+		}
+	}
+}

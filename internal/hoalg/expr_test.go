@@ -1,0 +1,203 @@
+package hoalg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestStringParseRoundTrip: Parse(e.String()) must reproduce e exactly for
+// a spectrum of constructed expressions, including the precedence edge
+// cases (Or under And, Not over composites, nested windows).
+func TestStringParseRoundTrip(t *testing.T) {
+	exprs := []*Expr{
+		SelfTrusting(),
+		AtMostSuspected(2),
+		PerRound(1),
+		KSetEq3(2),
+		BSys(1, 2),
+		SendOmission(1),
+		SyncCrash(2),
+		SharedMemory(1),
+		AtomicSnapshot(1),
+		ImmediateSnapshot(4),
+		And(Identical(), PerRound(1)),
+		Or(KSetEq3(2), PerRound(1)),
+		And(Or(KSetEq3(2), PerRound(1)), SelfTrusting()),
+		Or(And(SelfTrusting(), PerRound(1)), Identical()),
+		Not(PerRound(1)),
+		Not(And(SelfTrusting(), AtMostSuspected(1))),
+		Not(Or(Identical(), Chain())),
+		Forever(PerRound(2)),
+		Eventually(2, NeverSuspected()),
+		Eventually(0, And(SelfTrusting(), AtMostSuspected(1))),
+		Eventually(3, Or(KSetEq3(1), SomeoneSeen())),
+		And(Eventually(1, PerRound(1)), NoMutualMiss()),
+		And(Not(Identical()), Immediacy(), Propagates()),
+	}
+	for _, e := range exprs {
+		s := e.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !back.Equal(e) {
+			t.Fatalf("round trip of %q produced %q", s, back)
+		}
+		// The canonical form is a fixed point: printing the parse must
+		// reproduce the same string.
+		if again := back.String(); again != s {
+			t.Fatalf("canonical form unstable: %q reprints as %q", s, again)
+		}
+	}
+}
+
+// TestParseWhitespaceAndParens: equivalent spellings parse to equal trees.
+func TestParseWhitespaceAndParens(t *testing.T) {
+	want := And(SelfTrusting(), AtMostSuspected(2))
+	for _, s := range []string{
+		"selftrust & atmost(2)",
+		"selftrust&atmost(2)",
+		"  selftrust \t&\n atmost( 2 ) ",
+		"(selftrust) & ((atmost(2)))",
+	} {
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("Parse(%q) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestParseErrors: malformed inputs must fail with a structured
+// *ParseError carrying a sensible offset — never panic, never succeed.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{"", "expected an expression"},
+		{"   ", "expected an expression"},
+		{"bogus", "unknown atom"},
+		{"selftrust &", "expected an expression"},
+		{"& selftrust", "expected an expression"},
+		{"selftrust selftrust", "unexpected"},
+		{"atmost", `expected '('`},
+		{"atmost(", "expected a number"},
+		{"atmost(2", `expected ')'`},
+		{"atmost()", "expected a number"},
+		{"atmost(2,3)", `expected ')'`},
+		{"bsys(1)", `expected ','`},
+		{"selftrust()", "takes no arguments"},
+		{"kset(0)", "kset requires k >= 1"},
+		{"atmost(99999999)", "out of range"},
+		{"eventually(2 selftrust)", `expected ','`},
+		{"eventually(selftrust)", "expected a number"},
+		{"forever", `expected '('`},
+		{"(selftrust", `expected ')'`},
+		{"!", "expected an expression"},
+		{strings.Repeat("!", 100) + "selftrust", "nests deeper"},
+		{strings.Repeat("(", 100) + "selftrust" + strings.Repeat(")", 100), "nests deeper"},
+		{"atmost(2) )", "unexpected"},
+	}
+	for _, tc := range cases {
+		e, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded with %q, want error containing %q", tc.src, e, tc.substr)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Parse(%q) returned %T, want *ParseError", tc.src, err)
+		}
+		if pe.Pos < 0 || pe.Pos > len(tc.src) {
+			t.Fatalf("Parse(%q): offset %d outside input", tc.src, pe.Pos)
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Fatalf("Parse(%q) = %q, want substring %q", tc.src, err, tc.substr)
+		}
+	}
+}
+
+// TestConstructorNormalization pins the algebraic simplifications the
+// constructors apply eagerly.
+func TestConstructorNormalization(t *testing.T) {
+	if got := And(And(SelfTrusting(), PerRound(1)), Identical()); len(got.Kids) != 3 {
+		t.Fatalf("nested And not flattened: %q", got)
+	}
+	if got := Or(Or(SelfTrusting(), PerRound(1)), Identical()); len(got.Kids) != 3 {
+		t.Fatalf("nested Or not flattened: %q", got)
+	}
+	if got := And(SelfTrusting()); !got.Equal(SelfTrusting()) {
+		t.Fatalf("unary And not collapsed: %q", got)
+	}
+	if got := Not(Not(PerRound(1))); !got.Equal(PerRound(1)) {
+		t.Fatalf("double negation not cancelled: %q", got)
+	}
+	if got := Eventually(-3, SelfTrusting()); got.Args[0] != 0 {
+		t.Fatalf("negative stab not clamped: %q", got)
+	}
+	if got := KSetEq3(0); got.Args[0] != 1 {
+		t.Fatalf("kset k=0 not clamped: %q", got)
+	}
+	if got := AtMostSuspected(-1); got.Args[0] != 0 {
+		t.Fatalf("negative budget not clamped: %q", got)
+	}
+}
+
+// TestCatalogRoundTrips: every catalog model's expression must survive the
+// parse/String round trip, and Resolve must find it by name.
+func TestCatalogRoundTrips(t *testing.T) {
+	p := Params{N: 5, F: 1, K: 2, Stab: 1}
+	models := Catalog()
+	if len(models) < 8 {
+		t.Fatalf("catalog has %d models, want >= 8", len(models))
+	}
+	newCount := 0
+	for _, m := range models {
+		e := m.Build(p)
+		s := e.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("catalog %s: Parse(%q): %v", m.Name, s, err)
+		}
+		if !back.Equal(e) {
+			t.Fatalf("catalog %s: round trip of %q produced %q", m.Name, s, back)
+		}
+		got, err := Resolve(m.Name, p)
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", m.Name, err)
+		}
+		if !got.Equal(e) {
+			t.Fatalf("Resolve(%s) = %q, want %q", m.Name, got, e)
+		}
+		if m.Ref == "" || m.Desc == "" {
+			t.Fatalf("catalog %s: missing Ref/Desc", m.Name)
+		}
+		if m.New {
+			newCount++
+		}
+	}
+	if newCount < 3 {
+		t.Fatalf("catalog marks %d models as new, want >= 3", newCount)
+	}
+	if _, ok := Lookup("no-such-model"); ok {
+		t.Fatal("Lookup invented a model")
+	}
+	if _, err := Resolve("no-such-model", p); err == nil || !strings.Contains(err.Error(), "known models") {
+		t.Fatalf("Resolve of junk should list known models, got %v", err)
+	}
+	if e, err := Resolve("selftrust & atmost(1)", p); err != nil || !e.Equal(SendOmission(1)) {
+		t.Fatalf("Resolve of raw expression = %v, %v", e, err)
+	}
+	names := Names()
+	if len(names) != len(models) {
+		t.Fatalf("Names() lists %d, catalog has %d", len(names), len(models))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package hoalg
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseExpr fuzzes the expression parser. Invariants:
+//
+//   - Parse never panics (arbitrary input, arbitrary nesting);
+//   - a failed parse yields a structured *ParseError with an in-range
+//     offset;
+//   - a successful parse round-trips: the canonical String form parses
+//     back to an Equal tree and is itself a fixed point of printing.
+//
+// The seed corpus in testdata/fuzz/FuzzParseExpr covers every atom, the
+// operators, window syntax, and a sample of malformed inputs; `go test`
+// replays it on every run, so the corpus doubles as a regression suite.
+func FuzzParseExpr(f *testing.F) {
+	seeds := []string{
+		"selftrust",
+		"atmost(2)",
+		"perround(1) & someoneseen",
+		"selftrust & atmost(1) & propagates",
+		"kset(2) | perround(1)",
+		"!(identical | chain)",
+		"eventually(2, selftrust & atmost(1))",
+		"forever(nomutualmiss)",
+		"bsys(1, 2) | eventually(3, neversusp)",
+		"selftrust & chain & immediacy & perround(3)",
+		"!!!selftrust",
+		"((atmost(1)))",
+		"",
+		"atmost(",
+		"kset(0)",
+		"unknownatom(1)",
+		"eventually(99999999, selftrust)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q) returned %T (%v), want *ParseError", src, err, err)
+			}
+			if pe.Pos < 0 || pe.Pos > len(src) {
+				t.Fatalf("Parse(%q): error offset %d outside [0,%d]", src, pe.Pos, len(src))
+			}
+			return
+		}
+		s := e.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q fails to reparse: %v", s, src, err)
+		}
+		if !back.Equal(e) {
+			t.Fatalf("round trip of %q: %q parsed back as %q", src, s, back)
+		}
+		if again := back.String(); again != s {
+			t.Fatalf("canonical form of %q unstable: %q reprints as %q", src, s, again)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package hoalg
+
+import (
+	"repro/internal/core"
+	"repro/internal/faultnet"
+)
+
+// Oracle drives the compiled enumerator as a seeded core.Oracle: each round
+// it enumerates the plans the model allows in the current state and picks
+// one pseudo-randomly. For a disjunction, one branch is drawn up front and
+// followed for the whole run, so the produced trace satisfies that branch
+// (and hence the disjunction). This is the plain-run counterpart of the
+// exhaustive mc exploration: same plan families, one sampled path.
+func (e *Expr) Oracle(n int, seed int64) (core.Oracle, error) {
+	branches, err := e.EnumBranches(n)
+	if err != nil {
+		return nil, err
+	}
+	rng := faultnet.NewRNG(seed)
+	b := branches[rng.Intn(len(branches))]
+	return &seededOracle{n: n, enum: b.Enum, rng: rng,
+		suspected: core.NewSet(n), prevUnion: core.NewSet(n)}, nil
+}
+
+type seededOracle struct {
+	n         int
+	enum      Enum
+	rng       *faultnet.RNG
+	suspected core.Set
+	prevUnion core.Set
+	unions    []core.Set
+}
+
+func (o *seededOracle) Plan(r int, active core.Set) core.RoundPlan {
+	plans := o.enum(EnumState{R: r, Active: active.Clone(),
+		Suspected: o.suspected.Clone(), PrevUnion: o.prevUnion.Clone(),
+		Unions: append([]core.Set(nil), o.unions...)})
+	var plan core.RoundPlan
+	if len(plans) == 0 {
+		// A degenerate state admits no plan; fall back to a benign round
+		// rather than wedging the run.
+		ds := make([]core.Set, o.n)
+		for i := range ds {
+			ds[i] = core.NewSet(o.n)
+		}
+		plan = core.RoundPlan{Suspects: ds}
+	} else {
+		plan = plans[o.rng.Intn(len(plans))]
+	}
+	u := core.NewSet(o.n)
+	for _, d := range plan.Suspects {
+		if !d.Empty() {
+			u = u.Union(d)
+		}
+	}
+	o.prevUnion = u
+	o.suspected = o.suspected.Union(u)
+	o.unions = append(o.unions, u)
+	return plan
+}

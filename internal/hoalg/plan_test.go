@@ -1,0 +1,154 @@
+package hoalg
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// This file closes the loop between the plan compiler and the checker
+// compiler through the real chaos harness: for every catalog model, an
+// honest CompilePlan campaign must satisfy the model's own compiled
+// checker, a breaker plan (CompilePlan of the negation) must be caught by
+// it, and both campaigns must be deterministic functions of the seed.
+
+const (
+	closureSeed   = 11
+	closureRuns   = 3
+	closureRounds = 3 // > stab+1 so eventual models have a checked suffix
+)
+
+func closureParams() Params { return Params{N: 5, F: 1, K: 2, Stab: 1} }
+
+func closureConfig(t *testing.T, e *Expr, plan *Expr) chaos.Config {
+	t.Helper()
+	p := closureParams()
+	fp, err := plan.CompilePlan(p.N, closureSeed)
+	if err != nil {
+		t.Fatalf("CompilePlan(%q): %v", plan, err)
+	}
+	pred := e.Compile()
+	return chaos.Config{
+		N: p.N, F: p.F, K: p.K,
+		Rounds: closureRounds,
+		Runs:   closureRuns,
+		Seed:   closureSeed,
+		// MaxCrashes stays 0 and rounds run lock-step, so the plan is the
+		// only source of suspicions: D(i,r) = omitting senders ∖ {i}.
+		SyncRounds: true,
+		FixedPlan:  &fp,
+		TracePred:  &pred,
+		Out:        io.Discard,
+	}
+}
+
+// TestCompiledPlansSatisfyCompiledCheckers: honest plan, own checker, all
+// models, zero violations.
+func TestCompiledPlansSatisfyCompiledCheckers(t *testing.T) {
+	p := closureParams()
+	for _, m := range Catalog() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			e := m.Build(p)
+			sum := chaos.Run(closureConfig(t, e, e))
+			if !sum.Ok() {
+				t.Fatalf("honest plan for %q violates its own checker: %+v", e, sum.Violations)
+			}
+		})
+	}
+}
+
+// TestBreakerPlansCaughtByCompiledCheckers: the negation's plan must force
+// a model violation that the compiled checker attributes as "predicate".
+func TestBreakerPlansCaughtByCompiledCheckers(t *testing.T) {
+	p := closureParams()
+	for _, m := range Catalog() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			e := m.Build(p)
+			sum := chaos.Run(closureConfig(t, e, Not(e)))
+			if len(sum.Violations) == 0 {
+				t.Fatalf("breaker plan for %q escaped the compiled checker", e)
+			}
+			found := false
+			for _, v := range sum.Violations {
+				if v.Kind == "predicate" && strings.Contains(v.Detail, "violates model") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("breaker violations for %q carry no predicate kind: %+v", e, sum.Violations)
+			}
+		})
+	}
+}
+
+// TestClosureCampaignsDeterministic: the same config yields byte-identical
+// summaries, and the compiled plan itself is a pure function of
+// (expression, n, seed).
+func TestClosureCampaignsDeterministic(t *testing.T) {
+	p := closureParams()
+	e := Lookup2(t, "async").Build(p)
+	a := chaos.Run(closureConfig(t, e, Not(e)))
+	b := chaos.Run(closureConfig(t, e, Not(e)))
+	if len(a.Violations) != len(b.Violations) {
+		t.Fatalf("violation counts diverge across identical campaigns: %d vs %d",
+			len(a.Violations), len(b.Violations))
+	}
+	for i := range a.Violations {
+		if a.Violations[i].Detail != b.Violations[i].Detail {
+			t.Fatalf("violation %d diverges:\n  %s\n  %s", i, a.Violations[i].Detail, b.Violations[i].Detail)
+		}
+	}
+	for _, m := range Catalog() {
+		expr := m.Build(p)
+		p1, err1 := expr.CompilePlan(p.N, closureSeed)
+		p2, err2 := expr.CompilePlan(p.N, closureSeed)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("CompilePlan(%q): %v / %v", expr, err1, err2)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("CompilePlan(%q) not a pure function of the seed:\n%+v\n%+v", expr, p1, p2)
+		}
+	}
+}
+
+// TestCompilePlanRejections pins the documented unsupported shapes.
+func TestCompilePlanRejections(t *testing.T) {
+	cases := []struct {
+		expr   *Expr
+		substr string
+	}{
+		{Not(SelfTrusting()), "cannot violate selftrust"},
+		{Not(Immediacy()), "cannot violate immediacy"},
+		{And(Not(Identical()), PerRound(1)), "negation-free"},
+		{Not(And(SelfTrusting(), Immediacy())), "no conjunct"},
+		{Not(PerRound(9)), "omitting senders"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.expr.CompilePlan(5, closureSeed); err == nil {
+			t.Fatalf("CompilePlan(%q) succeeded, want error containing %q", tc.expr, tc.substr)
+		} else if !strings.Contains(err.Error(), tc.substr) {
+			t.Fatalf("CompilePlan(%q) = %v, want substring %q", tc.expr, err, tc.substr)
+		}
+	}
+	if _, err := PerRound(1).CompilePlan(1, closureSeed); err == nil {
+		t.Fatal("CompilePlan at n=1 should fail")
+	}
+}
+
+// Lookup2 is Lookup with a test-fatal miss.
+func Lookup2(t *testing.T, name string) Model {
+	t.Helper()
+	m, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("catalog model %q missing", name)
+	}
+	return m
+}

@@ -126,6 +126,13 @@ type RunSpec struct {
 	// Props are checked, in order, against every completed execution.
 	Props []Property
 
+	// Model, when non-nil, is a compiled model predicate (e.g. from
+	// hoalg.Compile) checked against every schedule's trace after Props —
+	// the membership assertion that an enumerated adversary stays inside
+	// its model. Trace predicates are path properties, so a spec with a
+	// Model must leave Mark off (see the Mark soundness note below).
+	Model *predicate.P
+
 	// Mark opts in to state-hash pruning: before each adversary choice
 	// the combined fingerprint of round, active set, every algorithm and
 	// the oracle is Marked. It is only sound when (a) every algorithm and
@@ -150,6 +157,10 @@ func CheckRun(s RunSpec) func(*Ctx) error {
 	if maxRounds == 0 {
 		maxRounds = 32
 	}
+	props := s.Props
+	if s.Model != nil {
+		props = append(append([]Property(nil), s.Props...), TraceSatisfies(*s.Model))
+	}
 	return func(ctx *Ctx) error {
 		mo := &markingOracle{ctx: ctx, inner: s.Oracle(ctx), mark: s.Mark}
 		factory := func(me core.PID, n int, input core.Value) core.Algorithm {
@@ -165,7 +176,7 @@ func CheckRun(s RunSpec) func(*Ctx) error {
 		if err != nil {
 			return fmt.Errorf("execution failed: %w", err)
 		}
-		for _, p := range s.Props {
+		for _, p := range props {
 			if err := p.Check(res); err != nil {
 				return &PropertyError{Name: p.Name, Err: err}
 			}

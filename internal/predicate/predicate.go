@@ -58,6 +58,47 @@ func And(name string, preds ...P) P {
 	}
 }
 
+// Or returns the disjunction of predicates under the given name: the trace
+// satisfies it when at least one disjunct holds. On failure the first
+// disjunct's violation is reported (wrapped), since every disjunct failed.
+func Or(name string, preds ...P) P {
+	return P{
+		Name: name,
+		Check: func(t *core.Trace) error {
+			var first error
+			for _, p := range preds {
+				err := p.Check(t)
+				if err == nil {
+					return nil
+				}
+				if first == nil {
+					first = err
+				}
+			}
+			if first == nil {
+				return nil
+			}
+			return fmt.Errorf("%s: every disjunct fails, first: %w", name, first)
+		},
+	}
+}
+
+// Not returns the negation of a predicate under the given name: the trace
+// satisfies it iff p is violated. The reported violation is whole-trace
+// (there is no single offending round when a property holds everywhere).
+func Not(name string, p P) P {
+	return P{
+		Name: name,
+		Check: func(t *core.Trace) error {
+			if err := p.Check(t); err != nil {
+				return nil
+			}
+			return &Violation{Predicate: name, Proc: -1,
+				Detail: fmt.Sprintf("negated predicate %q holds on the trace", p.Name)}
+		},
+	}
+}
+
 // SelfTrusting is the "p_i ∉ D(i,r)" clause of eq. (1): a process never
 // suspects itself.
 func SelfTrusting() P {

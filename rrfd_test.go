@@ -228,8 +228,8 @@ func TestPublicAPIDetector(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	exps := rrfd.Experiments()
-	if len(exps) != 19 { // E01–E15 plus the X01–X04 extensions
-		t.Fatalf("got %d experiments, want 19", len(exps))
+	if len(exps) != 20 { // E01–E15 plus the X01–X05 extensions
+		t.Fatalf("got %d experiments, want 20", len(exps))
 	}
 	table, err := exps[6].Run(true) // E07
 	if err != nil {
